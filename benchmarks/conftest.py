@@ -1,0 +1,24 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one paper table or figure (DESIGN.md's
+experiment index).  ``pytest-benchmark`` times the regeneration; the
+assertions check the *shape* of the results against the paper (who
+wins, by roughly what factor, where crossovers fall).  Simulation
+results are memoized process-wide, so benches that share runs (e.g.
+Figures 6 and 7) pay for them once.
+"""
+
+from __future__ import annotations
+
+
+def regenerate(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def attach_report(benchmark, text: str) -> None:
+    """Print the regenerated rows and keep them in the benchmark JSON."""
+    print()
+    print(text)
+    benchmark.extra_info["report"] = text

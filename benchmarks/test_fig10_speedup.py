@@ -1,0 +1,53 @@
+"""Figure 10 and Sections 5.3/5.4 — operation-packing speedups.
+
+Paper shapes at 4-wide decode: positive average speedups under both
+predictors (SPEC 7.1%/4.3%, media 7.6%/8.0%), media ahead of SPEC with
+the realistic predictor; replay packing adds more (Section 5.3); 8-wide
+decode increases speedups further (Section 5.4: SPEC 9.9%/6.2%, media
+10.3%/10.4%).
+"""
+
+from conftest import attach_report, regenerate
+
+from repro.experiments import fig10_packing_speedup
+
+
+def test_fig10_packing_speedup_4wide(benchmark):
+    result = regenerate(benchmark, fig10_packing_speedup.run)
+    attach_report(benchmark, fig10_packing_speedup.report(result))
+
+    # Packing never slows a benchmark down meaningfully.
+    for row in result.rows:
+        assert row.perfect_pct > -0.5, row.benchmark
+        assert row.realistic_pct > -0.5, row.benchmark
+
+    # Positive suite averages under both predictors.
+    assert result.spec_perfect > 0.5
+    assert result.spec_realistic > 0.5
+    assert result.media_perfect > 0.5
+    assert result.media_realistic > 0.5
+
+
+def test_fig10_replay_packing(benchmark):
+    plain = fig10_packing_speedup.run()                    # memoized
+    replay = regenerate(benchmark, fig10_packing_speedup.run,
+                        replay=True)
+    attach_report(benchmark, fig10_packing_speedup.report(replay))
+
+    # Section 5.3: relaxing the both-narrow rule adds opportunities —
+    # replay packing's suite averages meet or beat plain packing.
+    assert (replay.spec_realistic + replay.media_realistic
+            >= plain.spec_realistic + plain.media_realistic - 0.2)
+
+
+def test_fig10_8wide_decode(benchmark):
+    narrow = fig10_packing_speedup.run()                   # memoized
+    wide = regenerate(benchmark, fig10_packing_speedup.run,
+                      decode_width=8)
+    attach_report(benchmark, fig10_packing_speedup.report(wide))
+
+    # Section 5.4: "the optimization performs better with increased
+    # decode bandwidth" — on average across the suites.
+    assert (wide.spec_realistic + wide.media_realistic
+            >= narrow.spec_realistic + narrow.media_realistic - 0.2)
+    assert wide.media_realistic > 0.5

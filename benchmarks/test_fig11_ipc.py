@@ -1,0 +1,32 @@
+"""Figure 11 — IPC of baseline vs packing vs 8-issue/8-ALU machines.
+
+Paper shape: packing sits between the baseline and the 8-issue machine,
+and several benchmarks (ijpeg, vortex, much of media) "come very close
+to achieving the same IPC as the more costly 8-issue/8-ALU
+implementation".
+"""
+
+from conftest import attach_report, regenerate
+
+from repro.experiments import fig11_ipc
+
+
+def test_fig11_ipc(benchmark):
+    result = regenerate(benchmark, fig11_ipc.run)
+    attach_report(benchmark, fig11_ipc.report(result))
+
+    for row in result.rows:
+        # Packing never hurts IPC, and the 8-issue machine bounds it
+        # (within simulation noise).
+        assert row.packed_ipc >= row.baseline_ipc - 0.01, row.benchmark
+        assert row.packed_ipc <= row.wide_ipc + 0.05, row.benchmark
+        # All IPCs respect the 4-wide fetch/commit ceiling.
+        assert 0 < row.baseline_ipc <= 4.0
+        assert row.packed_ipc <= 4.0
+
+    # At least a few benchmarks close most of the gap to 8-issue.
+    closers = [row for row in result.rows
+               if row.wide_ipc - row.baseline_ipc > 0.02
+               and row.gap_closed_pct > 60.0]
+    assert len(closers) >= 2, [
+        (r.benchmark, round(r.gap_closed_pct, 1)) for r in result.rows]

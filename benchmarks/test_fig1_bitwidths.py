@@ -1,0 +1,33 @@
+"""Figure 1 — cumulative bitwidth distribution for SPECint95.
+
+Paper shape: "Roughly 50% of the instructions had both operands less
+than or equal to 16-bits" and "there is a large jump at 33 bits [from]
+heap and stack references".
+"""
+
+from conftest import attach_report, regenerate
+
+from repro.experiments import fig1_cumulative_widths
+
+
+def test_fig1_cumulative_widths(benchmark):
+    result = regenerate(benchmark, fig1_cumulative_widths.run)
+    attach_report(benchmark, fig1_cumulative_widths.report(result))
+
+    # ~half of SPEC integer operations are narrow at 16 bits.
+    assert 35.0 <= result.aggregate_at(16) <= 70.0
+
+    # The signature jump at 33 bits (address calculations).
+    jump = result.aggregate_at(33) - result.aggregate_at(31)
+    assert jump > 10.0
+
+    # By 33 bits the vast majority of operations are covered...
+    assert result.aggregate_at(33) > 80.0
+    # ...and the curve is monotone, reaching 100% at 64 bits.
+    for curve in result.curves.values():
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert curve[63] == 100.0
+
+    # compress is the widest SPEC benchmark, ijpeg among the narrowest
+    # (Figure 4's ordering, visible in Figure 1's curves).
+    assert result.at("compress", 16) < result.at("ijpeg", 16)

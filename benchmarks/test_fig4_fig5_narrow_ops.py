@@ -1,0 +1,55 @@
+"""Figures 4 and 5 — narrow operations by class at the 16- and 33-bit
+cut points.
+
+Paper shape: "for most benchmarks arithmetic and logical operations
+dominate the number of narrow-width operations"; multiplies are
+infrequent but visible in gsm; moving the cut to 33 bits sweeps in the
+address calculations (Figure 5 totals are much higher than Figure 4's).
+"""
+
+from conftest import attach_report, regenerate
+
+from repro.experiments import fig4_narrow16_by_class, fig5_narrow33_by_class
+from repro.isa.opcodes import OpClass
+
+
+def test_fig4_narrow16_by_class(benchmark):
+    result = regenerate(benchmark, fig4_narrow16_by_class.run)
+    attach_report(benchmark, fig4_narrow16_by_class.report(result))
+
+    rows = {row.benchmark: row for row in result.rows}
+
+    # Every benchmark has a nontrivial narrow fraction.
+    for row in result.rows:
+        assert row.total > 10.0
+
+    # Arithmetic + logic dominate shifts + multiplies for most
+    # benchmarks (at least 10 of 14).
+    dominated = sum(
+        1 for row in result.rows
+        if (row.by_class.get(OpClass.INT_ARITH, 0)
+            + row.by_class.get(OpClass.INT_LOGIC, 0))
+        > (row.by_class.get(OpClass.INT_SHIFT, 0)
+           + row.by_class.get(OpClass.INT_MULT, 0)))
+    assert dominated >= 10
+
+    # gsm's narrow multiplies are visible (paper: 6% for gsm).
+    assert rows["gsm-encode"].by_class.get(OpClass.INT_MULT, 0) > 1.0
+
+    # ijpeg is the narrowest SPEC benchmark; compress the widest.
+    assert rows["ijpeg"].total > rows["compress"].total
+
+
+def test_fig5_narrow33_by_class(benchmark):
+    result16 = fig4_narrow16_by_class.run()          # memoized runs
+    result33 = regenerate(benchmark, fig5_narrow33_by_class.run)
+    attach_report(benchmark, fig5_narrow33_by_class.report(result33))
+
+    rows16 = {row.benchmark: row.total for row in result16.rows}
+    for row in result33.rows:
+        # Widening the cut can only add operations...
+        assert row.total >= rows16[row.benchmark] - 1e-9
+    # ...and it adds a lot overall: the 33-bit signal captures the
+    # address arithmetic (the reason the paper adds the second cut).
+    gain = sum(row.total for row in result33.rows) - sum(rows16.values())
+    assert gain / len(result33.rows) > 5.0

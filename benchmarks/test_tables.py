@@ -1,0 +1,62 @@
+"""Tables 1, 2/3, and 4 — configuration and power-model content."""
+
+import pytest
+
+from conftest import attach_report, regenerate
+
+from repro.core.config import BASELINE
+from repro.experiments import table1_config, table4_devices
+from repro.power.devices import Device, device_power
+from repro.workloads.registry import (
+    MEDIABENCH,
+    SPECINT95,
+    suite_workloads,
+)
+
+
+def test_table1_config(benchmark):
+    text = regenerate(benchmark, table1_config.report)
+    attach_report(benchmark, text)
+    # Table 1's load-bearing parameters.
+    assert BASELINE.ruu_size == 80
+    assert BASELINE.lsq_size == 40
+    assert BASELINE.fetch_queue_size == 8
+    assert (BASELINE.fetch_width == BASELINE.decode_width
+            == BASELINE.issue_width == BASELINE.commit_width == 4)
+    assert BASELINE.int_alus == 4 and BASELINE.int_mult_div == 1
+    assert BASELINE.mispredict_penalty == 2
+    h = BASELINE.hierarchy
+    assert h.l1d_size == h.l1i_size == 64 * 1024
+    assert h.l2_size == 8 * 1024 * 1024
+    assert h.l2_latency == 12 and h.memory_latency == 100
+    assert h.tlb_entries == 128 and h.tlb_miss_latency == 30
+
+
+def test_tables23_benchmarks(benchmark):
+    def collect():
+        return (sorted(w.name for w in suite_workloads(SPECINT95)),
+                sorted(w.name for w in suite_workloads(MEDIABENCH)))
+
+    spec, media = regenerate(benchmark, collect)
+    attach_report(benchmark,
+                  "Table 2 (SPECint95): " + ", ".join(spec) + "\n"
+                  "Table 3 (MediaBench): " + ", ".join(media))
+    assert spec == ["compress", "gcc", "go", "ijpeg", "m88ksim", "perl",
+                    "vortex", "xlisp"]
+    assert media == ["g721-decode", "g721-encode", "gsm-decode",
+                     "gsm-encode", "mpeg2-decode", "mpeg2-encode"]
+
+
+def test_table4_devices(benchmark):
+    text = regenerate(benchmark, table4_devices.report)
+    attach_report(benchmark, text)
+    for device, columns in table4_devices.PAPER_VALUES.items():
+        for width, paper in zip((32, 48, 64), columns):
+            assert device_power(device, width) == pytest.approx(
+                paper, rel=0.02)
+    # Relative magnitudes the analysis leans on: the multiplier is 10x
+    # the adder; logic and shifts are tiny.
+    assert device_power(Device.MULTIPLIER, 64) == pytest.approx(
+        10 * device_power(Device.ADDER, 64))
+    assert device_power(Device.LOGIC, 64) < 0.1 * device_power(
+        Device.ADDER, 64)

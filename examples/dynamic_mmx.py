@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Operation packing as "dynamic MMX": watch packs form at issue time.
+
+Runs the mpeg2-encode stand-in (motion-estimation SAD — the classic
+hand-MMX'd kernel) under four machines and shows how issue-time packing
+recovers most of an 8-issue machine's advantage without new ALUs, and
+how replay packing (Section 5.3) squeezes out more by speculating on
+one-wide-operand adds.
+
+Run:  python examples/dynamic_mmx.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import BASELINE
+from repro.experiments.base import format_table, run_workload
+
+
+def main(argv):
+    name = argv[0] if argv else "mpeg2-encode"
+    scale = int(argv[1]) if len(argv) > 1 else 1
+
+    machines = {
+        "baseline (4-issue, 4 ALU)": BASELINE,
+        "+ packing": BASELINE.with_packing(),
+        "+ replay packing": BASELINE.with_packing(replay=True),
+        "8-issue, 8 ALU": BASELINE.with_issue_width(8, 8),
+    }
+
+    base_cycles = None
+    rows = []
+    for label, config in machines.items():
+        result = run_workload(name, config, scale=scale)
+        if base_cycles is None:
+            base_cycles = result.stats.cycles
+        speedup = 100 * (base_cycles / result.stats.cycles - 1)
+        rows.append([
+            label,
+            result.stats.cycles,
+            f"{result.ipc:.2f}",
+            f"{speedup:+.1f}%",
+            result.stats.pack_groups,
+            result.stats.packed_ops,
+            result.stats.replay_traps,
+        ])
+
+    print(f"'{name}' on four machines (identical committed work)")
+    print(format_table(
+        ["machine", "cycles", "IPC", "speedup", "packs", "packed ops",
+         "replay traps"], rows))
+    print("\nThe packed 4-issue machine closes most of the gap to the "
+          "8-issue machine\nby merging narrow operations into shared "
+          "ALUs at issue time (Figure 11).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

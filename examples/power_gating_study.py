@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Power study: sweep gating policies across the full benchmark suite.
+
+Reproduces the Section 4 analysis interactively: for each benchmark,
+compare integer-unit power under
+
+* the paper's full proposal (16- and 33-bit cuts, loads detected),
+* 16-bit gating only (no address cut),
+* no cache-side zero detect on loads,
+* the prior-work opcode-only baseline.
+
+Run:  python examples/power_gating_study.py          (full suite)
+      python examples/power_gating_study.py ijpeg go (chosen benchmarks)
+"""
+
+import sys
+
+from repro import BASELINE, GatingPolicy
+from repro.experiments.base import all_names, format_table, mean, run_workload
+
+POLICIES = {
+    "full (16+33)": GatingPolicy(),
+    "16-bit only": GatingPolicy(gate33=False),
+    "no load detect": GatingPolicy(detect_loads=False),
+    "opcode only": GatingPolicy(gate16=False, gate33=False,
+                                operand_based=False),
+}
+
+
+def main(argv):
+    names = argv or list(all_names())
+    headers = ["benchmark"] + list(POLICIES) + ["load-fed gated %"]
+    rows = []
+    sums = {policy: [] for policy in POLICIES}
+    for name in names:
+        row = [name]
+        load_fed = 0.0
+        for policy_name, policy in POLICIES.items():
+            result = run_workload(name, BASELINE.with_gating(policy))
+            row.append(result.power.reduction_pct)
+            sums[policy_name].append(result.power.reduction_pct)
+            if policy_name == "full (16+33)":
+                load_fed = result.power.load_dependent_pct
+        row.append(load_fed)
+        rows.append(row)
+    rows.append(["mean"] + [mean(sums[p]) for p in POLICIES] + [""])
+
+    print("Integer-unit power reduction (%) by gating policy")
+    print(format_table(headers, rows, precision=1))
+    print("\nReading the table:")
+    print(" * 'full' is the paper's proposal (Figure 7: ~54% SPEC, ~58% "
+          "media);")
+    print(" * dropping the 33-bit cut hurts address-heavy benchmarks "
+          "(go, vortex);")
+    print(" * dropping load zero-detect hurts SPEC (13.1% of its gated "
+          "ops are load-fed) more than media (1.5%);")
+    print(" * opcode-only gating is the baseline itself: 0% extra.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

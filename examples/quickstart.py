@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a program, measure narrow-width behaviour, and
+try both of the paper's optimizations.
+
+Builds a small image-processing loop in the Alpha-like ISA, runs it on
+the Table 1 baseline machine, then re-runs with operand-based clock
+gating accounting (Section 4) and with operation packing (Section 5).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BASELINE, Machine
+from repro.asm import Assembler, standard_prologue
+from repro.workloads.data import image_block
+
+
+def build_program():
+    """A brightness/contrast loop over 8-bit pixels — the kind of
+    narrow-width integer code the paper targets."""
+    asm = Assembler("quickstart")
+    standard_prologue(asm)
+    pixels = asm.alloc("pixels", 4096)
+    output = asm.alloc("output", 4096)
+    asm.data_bytes(pixels, image_block(64, 64))
+
+    asm.li("s0", pixels)
+    asm.li("s1", output)
+    asm.li("s2", 4096)          # pixel count
+    asm.label("loop")
+    asm.load("ldbu", "t0", "s0", 0)      # pixel (8-bit: narrow!)
+    asm.op("mull", "t1", "t0", 3)        # contrast: * 3/4
+    asm.op("sra", "t1", "t1", 2)
+    asm.op("addq", "t1", "t1", 16)       # brightness: + 16
+    # saturate to 0..255
+    asm.li("at", 255)
+    asm.op("cmplt", "t2", "at", "t1")
+    asm.op("cmovne", "t1", "t2", "at")
+    asm.store("stb", "t1", "s1", 0)
+    asm.op("addq", "s0", "s0", 1)
+    asm.op("addq", "s1", "s1", 1)
+    asm.op("subq", "s2", "s2", 1)
+    asm.br("bne", "s2", "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def main():
+    program = build_program()
+
+    # --- 1. Baseline run: where are the narrow operands? -----------------
+    machine = Machine(program, BASELINE)
+    result = machine.run()
+    print(f"baseline: {result.stats.committed} instructions in "
+          f"{result.stats.cycles} cycles (IPC {result.ipc:.2f})")
+    print(f"  operations with both operands <=16 bits: "
+          f"{result.widths.cumulative_pct(16):.1f}%")
+    print(f"  ... <=33 bits (addresses included):      "
+          f"{result.widths.cumulative_pct(33):.1f}%")
+
+    # --- 2. Power: operand-based clock gating (Section 4) ----------------
+    power = result.power
+    print(f"\nclock gating (Table 4 power model):")
+    print(f"  integer-unit power: {power.baseline:.0f} mW/cycle -> "
+          f"{power.gated:.0f} mW/cycle "
+          f"({power.reduction_pct:.1f}% reduction)")
+    print(f"  saved at 16-bit cut: {power.saved16:.1f} mW/cycle, "
+          f"at 33-bit cut: {power.saved33:.1f} mW/cycle, "
+          f"overhead: {power.overhead:.1f} mW/cycle")
+
+    # --- 3. Performance: operation packing (Section 5) -------------------
+    packed_machine = Machine(program, BASELINE.with_packing(replay=True))
+    packed = packed_machine.run()
+    speedup = 100 * (result.stats.cycles / packed.stats.cycles - 1)
+    print(f"\noperation packing (dynamic MMX):")
+    print(f"  {packed.stats.cycles} cycles (IPC {packed.ipc:.2f}), "
+          f"speedup {speedup:.1f}%")
+    print(f"  {packed.stats.pack_groups} packs issued covering "
+          f"{packed.stats.packed_ops} instructions; "
+          f"{packed.stats.replay_traps} replay traps")
+
+    # Functional results are identical with and without packing.
+    assert all(machine.feed.reg(r) == packed_machine.feed.reg(r)
+               for r in range(32))
+    print("\nfunctional state identical with and without packing ✓")
+
+
+if __name__ == "__main__":
+    main()

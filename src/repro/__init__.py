@@ -1,0 +1,46 @@
+"""repro — reproduction of Brooks & Martonosi, "Dynamically Exploiting
+Narrow Width Operands to Improve Processor Power and Performance"
+(HPCA 1999).
+
+The package provides:
+
+* :mod:`repro.isa` / :mod:`repro.asm` — a 64-bit Alpha-like ISA and a
+  structured assembler for writing workloads;
+* :mod:`repro.core` — a SimpleScalar-style out-of-order, speculative
+  timing simulator (RUU/LSQ, Table 1 baseline);
+* :mod:`repro.bitwidth` — the paper's narrow-width operand detection;
+* :mod:`repro.power` — operand-based clock gating and the Table 4
+  power model (Section 4);
+* :mod:`repro.packing` — issue-time operation packing and replay
+  packing (Section 5);
+* :mod:`repro.workloads` — SPECint95 / MediaBench stand-in kernels;
+* :mod:`repro.experiments` — regeneration of every figure and table.
+
+Quickstart::
+
+    from repro import Machine, BASELINE
+    from repro.workloads import get_workload
+
+    program = get_workload("ijpeg").build()
+    machine = Machine(program, BASELINE.with_packing())
+    result = machine.run()
+    print(result.ipc, result.stats.packed_ops)
+"""
+
+from repro.core.config import BASELINE, MachineConfig, PackingConfig
+from repro.core.machine import Machine, RunResult
+from repro.power.gating import FULL_GATING, OPCODE_ONLY, GatingPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "FULL_GATING",
+    "GatingPolicy",
+    "Machine",
+    "MachineConfig",
+    "OPCODE_ONLY",
+    "PackingConfig",
+    "RunResult",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Structured assembler and address-space layout for workloads."""
+
+from repro.asm.assembler import Assembler, AssemblerError, standard_prologue
+from repro.asm.layout import CODE_BASE, DATA_BASE, PAGE_BYTES, STACK_TOP
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "CODE_BASE",
+    "DATA_BASE",
+    "PAGE_BYTES",
+    "STACK_TOP",
+    "standard_prologue",
+]

@@ -1,0 +1,13 @@
+"""Simulated address-space layout.
+
+The layout mirrors a 64-bit Alpha process image: code low, globals/heap
+just above the 4 GB line and the stack a little higher.  Placing data
+addresses above ``2**32`` is what produces the paper's Figure 1 "large
+jump at 33 bits" for address calculations ("This corresponds to heap
+and stack references").
+"""
+
+CODE_BASE = 0x0001_0000          # text segment
+DATA_BASE = 0x1_0000_0000        # globals + heap: 33-bit addresses
+STACK_TOP = 0x1_4000_0000        # stack grows down from here
+PAGE_BYTES = 4096

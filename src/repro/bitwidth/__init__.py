@@ -1,0 +1,28 @@
+"""Narrow-width operand detection and tagging (paper Sections 4.2-4.3)."""
+
+from repro.bitwidth.detect import (
+    CUT_ADDRESS,
+    CUT_NARROW,
+    WORD_WIDTH,
+    effective_width,
+    is_narrow,
+    ones_detect,
+    operand_pair_width,
+    zero_detect,
+)
+from repro.bitwidth.tags import UNKNOWN_TAG, ZERO_TAG, WidthTag, tag_value
+
+__all__ = [
+    "CUT_ADDRESS",
+    "CUT_NARROW",
+    "UNKNOWN_TAG",
+    "WORD_WIDTH",
+    "WidthTag",
+    "ZERO_TAG",
+    "effective_width",
+    "is_narrow",
+    "ones_detect",
+    "operand_pair_width",
+    "tag_value",
+    "zero_detect",
+]

@@ -1,0 +1,90 @@
+"""Narrow-width operand detection (the paper's core mechanism).
+
+Section 4.2/4.3: a value is *narrow at width w* when its upper
+``64 - w`` bits carry no information.  For non-negative two's-complement
+values this is a **zero detect** on the high bits; for negative values
+leading **ones** are equally redundant, so a ones detect runs in
+parallel.  The hardware exposes two cut points:
+
+* ``w = 16`` — the ``zero48`` signal of Figure 3 (upper 48 bits gated);
+* ``w = 33`` — added after Figure 5 showed the address-calculation peak
+  at 33 bits (upper 31 bits gated).
+
+This module implements the detection as pure functions on 64-bit
+unsigned values.
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import MASK64, SIGN_BIT
+
+#: The two hardware cut points of the paper's gating architecture.
+CUT_NARROW = 16
+CUT_ADDRESS = 33
+WORD_WIDTH = 64
+
+_HIGH48 = MASK64 ^ 0xFFFF               # bits [63:16]
+_HIGH31 = MASK64 ^ 0x1_FFFF_FFFF        # bits [63:33]
+
+
+def zero_detect(value: int, width: int) -> bool:
+    """True if bits ``[63:width]`` of ``value`` are all zero.
+
+    This is the literal zero-detect circuit of Figure 3 (for
+    ``width == 16`` it computes the ``zero48`` signal for non-negative
+    operands).
+    """
+    if width >= WORD_WIDTH:
+        return True
+    return (value >> width) == 0
+
+
+def ones_detect(value: int, width: int) -> bool:
+    """True if bits ``[63:width]`` of ``value`` are all one.
+
+    Run in parallel with :func:`zero_detect` to recognize narrow
+    *negative* two's-complement values (Section 4.3: "a ones detect must
+    be performed in parallel with the zero detect").
+    """
+    if width >= WORD_WIDTH:
+        return True
+    high = value >> width
+    return high == (MASK64 >> width)
+
+
+def is_narrow(value: int, width: int) -> bool:
+    """True if ``value`` carries no information above bit ``width - 1``.
+
+    Equivalent to "upper bits all zero OR all one" — i.e. the value
+    sign-extends from ``width`` bits.  Matches the paper's usage where a
+    positive ``w``-bit pattern (like 17 = ``10001``, "a 5-bit number")
+    counts as ``w`` bits even though a signed representation would need
+    ``w + 1``.
+    """
+    return zero_detect(value, width) or ones_detect(value, width)
+
+
+def effective_width(value: int) -> int:
+    """Minimum ``w`` (1..64) such that ``value`` is narrow at ``w``.
+
+    * ``effective_width(0) == 1`` and ``effective_width(2**64 - 1) == 1``
+      (zero and minus one need a single bit's worth of information);
+    * ``effective_width(17) == 5`` (the paper's "17, a 5-bit number");
+    * addresses just above 4 GB report 33, producing Figure 1's jump.
+    """
+    if value & SIGN_BIT:
+        # Negative: leading ones are redundant; count significant bits of
+        # the complement.
+        return max(1, (value ^ MASK64).bit_length())
+    return max(1, value.bit_length())
+
+
+def operand_pair_width(a: int, b: int) -> int:
+    """Effective width of an operand *pair* — the larger of the two.
+
+    The paper's "narrow-width operation" requires **both** operands to be
+    narrow ("Both operands must be small in order for the clock gating
+    to be allowed", Figure 4 caption), so the pair is characterized by
+    its maximum.
+    """
+    return max(effective_width(a), effective_width(b))

@@ -1,0 +1,69 @@
+"""Width tags carried through the machine alongside operand values.
+
+Section 4.2: "This signal, called zero48 ..., denotes that the upper
+48-bits are all zeros and is created by zero detection logic when the
+result was computed."  Section 5.2: "Each entry in the reservation
+update unit (RUU) stores an extra bit for each operand indicating that
+the size of the operand is 16-bits or less."
+
+A :class:`WidthTag` bundles the two per-value signals the proposed
+hardware maintains (narrow-at-16, narrow-at-33).  Tags are created by
+:func:`tag_value` when a result is produced (writeback, or the
+cache-side zero detect for loads) and stored in RUU entries for use at
+issue time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitwidth.detect import CUT_ADDRESS, CUT_NARROW, is_narrow
+
+
+@dataclass(frozen=True, slots=True)
+class WidthTag:
+    """The per-value narrow-width signals of the proposed hardware.
+
+    ``narrow16`` corresponds to Figure 3's ``zero48`` (extended with the
+    parallel ones-detect for negative values); ``narrow33`` is the
+    second cut point added for address arithmetic (Section 4.3).
+    """
+
+    narrow16: bool
+    narrow33: bool
+
+    @property
+    def gate_width(self) -> int:
+        """The narrowest functional-unit slice this value permits
+        (16, 33, or 64)."""
+        if self.narrow16:
+            return CUT_NARROW
+        if self.narrow33:
+            return CUT_ADDRESS
+        return 64
+
+    def combine(self, other: "WidthTag") -> "WidthTag":
+        """Tag of an operand *pair*: narrow only if both values are."""
+        return WidthTag(
+            self.narrow16 and other.narrow16,
+            self.narrow33 and other.narrow33,
+        )
+
+
+#: Tag for a value about which nothing is known (e.g. a load result when
+#: the cache-side zero detect is omitted — Section 4.2 discusses this).
+UNKNOWN_TAG = WidthTag(narrow16=False, narrow33=False)
+
+#: Tag for a known-zero value (e.g. reads of R31).
+ZERO_TAG = WidthTag(narrow16=True, narrow33=True)
+
+
+def tag_value(value: int) -> WidthTag:
+    """Create the width tag the zero/ones-detect hardware would attach
+    to ``value`` when it is produced."""
+    if value == 0:
+        return ZERO_TAG
+    narrow16 = is_narrow(value, CUT_NARROW)
+    # narrow16 implies narrow33; skip the second detect when possible.
+    narrow33 = narrow16 or is_narrow(value, CUT_ADDRESS)
+    return WidthTag(narrow16, narrow33)

@@ -1,0 +1,29 @@
+"""Branch prediction substrate (Table 1's combining predictor, BTB, RAS)."""
+
+from repro.branch.btb import BranchTargetBuffer, BTBStats, ReturnAddressStack
+from repro.branch.counters import CounterTable
+from repro.branch.predictors import (
+    BimodalPredictor,
+    CombiningPredictor,
+    DirectionPredictor,
+    GlobalPredictor,
+    LocalPredictor,
+    PerfectPredictor,
+    PredictorStats,
+    make_predictor,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BTBStats",
+    "CombiningPredictor",
+    "CounterTable",
+    "DirectionPredictor",
+    "GlobalPredictor",
+    "LocalPredictor",
+    "PerfectPredictor",
+    "PredictorStats",
+    "ReturnAddressStack",
+    "make_predictor",
+]

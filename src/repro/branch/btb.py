@@ -1,0 +1,86 @@
+"""Branch target buffer and return-address stack (Table 1).
+
+* BTB: 2048-entry, 2-way set associative, LRU within the set.
+* Return-address stack: 32 entries, circular (overflow overwrites the
+  oldest entry, as in real hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+@dataclass
+class BTBStats:
+    lookups: int = 0
+    hits: int = 0
+    correct: int = 0
+
+
+class BranchTargetBuffer:
+    """2-way set-associative BTB mapping branch PC -> predicted target."""
+
+    def __init__(self, entries: int = 2048, assoc: int = 2) -> None:
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.stats = BTBStats()
+        # Per set: list of (tag, target) in LRU order.
+        self._sets: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.num_sets)]
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        index = pc // INSTRUCTION_BYTES
+        return index % self.num_sets, index // self.num_sets
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc``, or None on miss."""
+        set_index, tag = self._locate(pc)
+        ways = self._sets[set_index]
+        self.stats.lookups += 1
+        for i, (entry_tag, target) in enumerate(ways):
+            if entry_tag == tag:
+                ways.insert(0, ways.pop(i))
+                self.stats.hits += 1
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for the branch at ``pc``."""
+        set_index, tag = self._locate(pc)
+        ways = self._sets[set_index]
+        for i, (entry_tag, _) in enumerate(ways):
+            if entry_tag == tag:
+                ways.pop(i)
+                break
+        else:
+            if len(ways) >= self.assoc:
+                ways.pop()
+        ways.insert(0, (tag, target))
+
+
+class ReturnAddressStack:
+    """Circular return-address stack (32 entries per Table 1)."""
+
+    def __init__(self, entries: int = 32) -> None:
+        self.entries = entries
+        self._stack: list[int] = [0] * entries
+        self._top = 0       # index of next push
+        self._depth = 0
+
+    def push(self, return_pc: int) -> None:
+        self._stack[self._top] = return_pc
+        self._top = (self._top + 1) % self.entries
+        if self._depth < self.entries:
+            self._depth += 1
+
+    def pop(self) -> int | None:
+        if self._depth == 0:
+            return None
+        self._top = (self._top - 1) % self.entries
+        self._depth -= 1
+        return self._stack[self._top]
+
+    def __len__(self) -> int:
+        return self._depth

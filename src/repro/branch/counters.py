@@ -1,0 +1,40 @@
+"""Saturating-counter tables shared by all direction predictors."""
+
+from __future__ import annotations
+
+
+class CounterTable:
+    """A table of n-bit saturating counters.
+
+    Counters start at the weakly-taken threshold.  ``predict`` returns
+    the taken/not-taken direction; ``update`` trains toward the actual
+    outcome.
+    """
+
+    __slots__ = ("bits", "max_value", "threshold", "_table")
+
+    def __init__(self, entries: int, bits: int = 2) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self._table = [self.threshold] * entries
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def value(self, index: int) -> int:
+        return self._table[index]
+
+    def predict(self, index: int) -> bool:
+        """True = predict taken."""
+        return self._table[index] >= self.threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        value = self._table[index]
+        if taken:
+            if value < self.max_value:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1

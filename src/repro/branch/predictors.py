@@ -1,0 +1,214 @@
+"""Branch direction predictors.
+
+Table 1 specifies a McFarling-style combining predictor:
+
+* selector: 4K 2-bit counters, indexed by 12 bits of global history;
+* local: 1K-entry local-history table (10-bit histories) feeding 1K
+  3-bit counters;
+* global: 4K 2-bit counters indexed by 12 bits of global history.
+
+A simple bimodal predictor is provided for ablations, and
+:class:`PerfectPredictor` models the paper's "perfect branch prediction"
+configuration (Figures 2 and 10 compare perfect vs the combining
+predictor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.counters import CounterTable
+from repro.isa.instruction import INSTRUCTION_BYTES
+
+
+@dataclass
+class PredictorStats:
+    lookups: int = 0
+    mispredicts: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+class DirectionPredictor:
+    """Interface: ``predict(pc, actual)`` then ``update(pc, taken)``.
+
+    ``actual`` is passed to ``predict`` only so the perfect predictor
+    can be an oracle; real predictors ignore it.
+    """
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        raise NotImplementedError
+
+    def lookup(self, pc: int) -> bool:
+        """Direction lookup with no stats recording and no training —
+        used for wrong-path branches, which never retire."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        self.stats.lookups += 1
+        if predicted != actual:
+            self.stats.mispredicts += 1
+
+
+def _pc_index(pc: int, entries: int) -> int:
+    return (pc // INSTRUCTION_BYTES) & (entries - 1)
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Oracle predictor: always right (paper's 'perfect' configuration)."""
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        self.record(actual, actual)
+        return actual
+
+    def lookup(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic per-PC 2-bit counter table (ablation baseline)."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        super().__init__()
+        self._table = CounterTable(entries, bits=2)
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        predicted = self.lookup(pc)
+        self.record(predicted, actual)
+        return predicted
+
+    def lookup(self, pc: int) -> bool:
+        return self._table.predict(_pc_index(pc, len(self._table)))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(_pc_index(pc, len(self._table)), taken)
+
+
+class LocalPredictor(DirectionPredictor):
+    """Two-level local predictor: per-PC history feeding a counter table.
+
+    Table 1: "1K 3-bit local predictor, 10-bit history".
+    """
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 10,
+                 counters: int = 1024, counter_bits: int = 3) -> None:
+        super().__init__()
+        self._histories = [0] * history_entries
+        self._history_mask = (1 << history_bits) - 1
+        self._table = CounterTable(counters, bits=counter_bits)
+
+    def _history_of(self, pc: int) -> int:
+        return self._histories[_pc_index(pc, len(self._histories))]
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        predicted = self.lookup(pc)
+        self.record(predicted, actual)
+        return predicted
+
+    def lookup(self, pc: int) -> bool:
+        index = self._history_of(pc) & (len(self._table) - 1)
+        return self._table.predict(index)
+
+    def update(self, pc: int, taken: bool) -> None:
+        slot = _pc_index(pc, len(self._histories))
+        history = self._histories[slot]
+        self._table.update(history & (len(self._table) - 1), taken)
+        self._histories[slot] = (
+            (history << 1) | int(taken)) & self._history_mask
+
+
+class GlobalPredictor(DirectionPredictor):
+    """Two-level global predictor indexed by global branch history.
+
+    Table 1: "4K 2-bit global predictor, 12-bit history".
+    """
+
+    def __init__(self, counters: int = 4096, counter_bits: int = 2,
+                 history_bits: int = 12) -> None:
+        super().__init__()
+        self._table = CounterTable(counters, bits=counter_bits)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        predicted = self.lookup(pc)
+        self.record(predicted, actual)
+        return predicted
+
+    def lookup(self, pc: int) -> bool:
+        return self._table.predict(self._history & (len(self._table) - 1))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._history & (len(self._table) - 1), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class CombiningPredictor(DirectionPredictor):
+    """McFarling combining predictor (Table 1's configuration).
+
+    A 4K 2-bit selector table, indexed by the global history, chooses
+    between the local and global components; the selector trains toward
+    whichever component was right when they disagree.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.local = LocalPredictor()
+        self.global_ = GlobalPredictor()
+        self._selector = CounterTable(4096, bits=2)
+
+    def predict(self, pc: int, actual: bool) -> bool:
+        index = self.global_.history & (len(self._selector) - 1)
+        local_pred = self.local.predict(pc, actual)
+        global_pred = self.global_.predict(pc, actual)
+        use_global = self._selector.predict(index)
+        predicted = global_pred if use_global else local_pred
+        self.record(predicted, actual)
+        # Remember component outcomes for the update step.
+        self._last = (index, local_pred, global_pred)
+        return predicted
+
+    def lookup(self, pc: int) -> bool:
+        index = self.global_.history & (len(self._selector) - 1)
+        local_pred = self.local.lookup(pc)
+        global_pred = self.global_.lookup(pc)
+        return global_pred if self._selector.predict(index) else local_pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        index, local_pred, global_pred = self._last
+        if local_pred != global_pred:
+            self._selector.update(index, global_pred == taken)
+        self.local.update(pc, taken)
+        self.global_.update(pc, taken)
+
+
+def make_predictor(kind: str) -> DirectionPredictor:
+    """Factory for the predictor configurations used in the paper."""
+    if kind == "perfect":
+        return PerfectPredictor()
+    if kind == "combining":
+        return CombiningPredictor()
+    if kind == "bimodal":
+        return BimodalPredictor()
+    if kind == "local":
+        return LocalPredictor()
+    if kind == "global":
+        return GlobalPredictor()
+    raise ValueError(f"unknown predictor kind {kind!r}")

@@ -1,0 +1,22 @@
+"""Out-of-order core: configuration, functional feed, RUU, timing machine."""
+
+from repro.core.config import BASELINE, MachineConfig, PackingConfig
+from repro.core.feed import DynInst, Feed
+from repro.core.machine import Machine, RunResult
+from repro.core.ruu import RUU, RUUEntry
+from repro.core.trace import PipelineTracer, program_listing, render_trace
+
+__all__ = [
+    "BASELINE",
+    "DynInst",
+    "Feed",
+    "Machine",
+    "MachineConfig",
+    "PackingConfig",
+    "PipelineTracer",
+    "RUU",
+    "RUUEntry",
+    "RunResult",
+    "program_listing",
+    "render_trace",
+]

@@ -1,0 +1,100 @@
+"""Machine configuration (paper Table 1 plus optimization knobs).
+
+:data:`BASELINE` reproduces Table 1 exactly.  The experiment harness
+derives the paper's other configurations from it:
+
+* packing enabled (Figures 10/11),
+* replay packing (Section 5.3),
+* 8-wide decode (Section 5.4),
+* 8-issue / 8-ALU (Figure 11's third machine),
+* perfect vs combining branch prediction (Figures 2/10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.power.gating import GatingPolicy
+
+
+@dataclass(frozen=True)
+class PackingConfig:
+    """Operation-packing (Section 5) configuration."""
+
+    enabled: bool = False
+    #: allow replay packing: one wide operand, squash on carry-out
+    #: (Section 5.3).
+    replay: bool = False
+    #: 16-bit subword lanes per 64-bit ALU (4 in HP MAX-style hardware;
+    #: Figure 8 shows 2 — ablated in the benchmarks).
+    max_subwords: int = 4
+    #: require identical opcodes to pack (True) or merely the same
+    #: operation class (False).  The paper requires "the same operation".
+    same_opcode: bool = True
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full processor configuration; defaults are the paper's Table 1."""
+
+    # processor core (Table 1)
+    ruu_size: int = 80
+    lsq_size: int = 40
+    fetch_queue_size: int = 8
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    int_alus: int = 4
+    int_mult_div: int = 1
+
+    # latencies
+    alu_latency: int = 1
+    mult_latency: int = 3
+    mispredict_penalty: int = 2   # Table 1 "Mispredict penalty: 2 cycles"
+
+    # branch prediction (Table 1's combining predictor by default)
+    predictor: str = "combining"
+    btb_entries: int = 2048
+    btb_assoc: int = 2
+    ras_entries: int = 32
+
+    # memory hierarchy (Table 1)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    # narrow-width optimizations
+    packing: PackingConfig = field(default_factory=PackingConfig)
+    gating: GatingPolicy = field(default_factory=GatingPolicy)
+
+    # simulation safety net
+    max_cycles: int = 200_000_000
+
+    # -- derived configurations used by the paper -----------------------------
+
+    def with_packing(self, replay: bool = False,
+                     max_subwords: int = 4,
+                     same_opcode: bool = True) -> "MachineConfig":
+        """This configuration with operation packing turned on."""
+        return replace(self, packing=PackingConfig(
+            enabled=True, replay=replay, max_subwords=max_subwords,
+            same_opcode=same_opcode))
+
+    def with_predictor(self, kind: str) -> "MachineConfig":
+        return replace(self, predictor=kind)
+
+    def with_decode_width(self, width: int) -> "MachineConfig":
+        """Section 5.4's 8-wide decode variant (fetch scales to match)."""
+        return replace(self, decode_width=width, fetch_width=width,
+                       fetch_queue_size=max(self.fetch_queue_size, width))
+
+    def with_issue_width(self, width: int, alus: int) -> "MachineConfig":
+        """Figure 11's wider-issue comparison machine."""
+        return replace(self, issue_width=width, int_alus=alus)
+
+    def with_gating(self, gating: GatingPolicy) -> "MachineConfig":
+        return replace(self, gating=gating)
+
+
+#: Table 1 baseline.
+BASELINE = MachineConfig()

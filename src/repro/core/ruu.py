@@ -1,0 +1,107 @@
+"""Reservation update unit (RUU) entries and occupancy tracking.
+
+Section 3.1: "The simulated processor contains a unified active
+instruction list, issue queue, and rename register file in one unit
+called the reservation update unit (RUU)", with a separate load/store
+queue (LSQ) occupancy limit.  Entries also hold the per-operand width
+tags the paper's hardware stores in each reservation station
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.feed import DynInst
+
+
+@dataclass(slots=True)
+class RUUEntry:
+    """One in-flight instruction in the RUU."""
+
+    dyn: DynInst
+    dispatch_cycle: int
+    #: seqs of in-flight producers this entry waits on (register deps
+    #: plus, for loads, older overlapping stores).
+    deps: tuple[int, ...] = ()
+
+    issued: bool = False
+    issue_cycle: int = -1
+    completed: bool = False
+    complete_cycle: int = -1
+    squashed: bool = False
+
+    # operation packing state
+    packed: bool = False          # issued as part of a multi-op pack
+    pack_leader: bool = False
+    replay_packed: bool = False   # speculatively packed with a wide operand
+    replay_pending: bool = False  # overflowed; awaiting full-width re-issue
+    replay_ready_cycle: int = -1
+    no_pack: bool = False         # excluded from packing (post-replay)
+
+    @property
+    def seq(self) -> int:
+        return self.dyn.seq
+
+
+@dataclass
+class RUU:
+    """The RUU proper: an age-ordered window with an LSQ occupancy cap."""
+
+    size: int = 80
+    lsq_size: int = 40
+    entries: list[RUUEntry] = field(default_factory=list)
+    _inflight: dict[int, RUUEntry] = field(default_factory=dict)
+    _lsq_count: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def has_room(self, is_mem: bool) -> bool:
+        if len(self.entries) >= self.size:
+            return False
+        if is_mem and self._lsq_count >= self.lsq_size:
+            return False
+        return True
+
+    def add(self, entry: RUUEntry) -> None:
+        self.entries.append(entry)
+        self._inflight[entry.seq] = entry
+        if entry.dyn.inst.is_mem:
+            self._lsq_count += 1
+
+    def get(self, seq: int) -> RUUEntry | None:
+        """In-flight entry by sequence number (None once retired)."""
+        return self._inflight.get(seq)
+
+    def head(self) -> RUUEntry | None:
+        return self.entries[0] if self.entries else None
+
+    def retire_head(self) -> RUUEntry:
+        entry = self.entries.pop(0)
+        del self._inflight[entry.seq]
+        if entry.dyn.inst.is_mem:
+            self._lsq_count -= 1
+        return entry
+
+    def squash_after(self, seq: int) -> list[RUUEntry]:
+        """Remove (and return) every entry younger than ``seq``."""
+        keep: list[RUUEntry] = []
+        squashed: list[RUUEntry] = []
+        for entry in self.entries:
+            if entry.seq > seq:
+                entry.squashed = True
+                squashed.append(entry)
+                del self._inflight[entry.seq]
+                if entry.dyn.inst.is_mem:
+                    self._lsq_count -= 1
+            else:
+                keep.append(entry)
+        self.entries = keep
+        return squashed
+
+    def dep_satisfied(self, seq: int) -> bool:
+        """A producer dependence is satisfied when the producer has
+        completed or already retired."""
+        producer = self._inflight.get(seq)
+        return producer is None or producer.completed

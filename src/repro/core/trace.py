@@ -1,0 +1,142 @@
+"""Pipeline tracing: per-instruction stage timelines.
+
+A :class:`PipelineTracer` attaches to a :class:`~repro.core.machine.Machine`
+and records, for every dynamic instruction, the cycles at which it was
+fetched, dispatched, issued, completed, and committed (or squashed).
+:func:`render_trace` prints the classic textbook pipeline diagram —
+invaluable when debugging issue-packing decisions or recovery timing,
+and used by the test suite to assert stage-ordering invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.machine import Machine
+
+
+@dataclass
+class InstructionTimeline:
+    """Stage timestamps of one dynamic instruction."""
+
+    seq: int
+    text: str
+    spec: bool
+    fetch: int = -1
+    dispatch: int = -1
+    issue: int = -1
+    complete: int = -1
+    commit: int = -1
+    squashed: bool = False
+
+    def stages(self) -> dict[str, int]:
+        return {"F": self.fetch, "D": self.dispatch, "I": self.issue,
+                "C": self.complete, "R": self.commit}
+
+
+@dataclass
+class PipelineTracer:
+    """Records stage timestamps by observing a machine step by step."""
+
+    machine: Machine
+    timelines: dict[int, InstructionTimeline] = field(default_factory=dict)
+    _committed_seen: int = 0
+
+    def run(self, max_cycles: int | None = None) -> None:
+        """Drive the machine to completion, recording each cycle."""
+        limit = max_cycles or self.machine.config.max_cycles
+        while not self.machine.done and self.machine.stats.cycles < limit:
+            self.step()
+
+    def step(self) -> None:
+        """Advance the machine one cycle and snapshot stage movement."""
+        machine = self.machine
+        before_commit = machine.stats.committed
+        ruu_before = {entry.seq: entry for entry in machine.ruu.entries}
+        head_seqs = [entry.seq for entry in machine.ruu.entries]
+
+        machine._step()
+        cycle = machine.stats.cycles - 1   # the cycle just simulated
+
+        # New fetch-queue arrivals.
+        for dyn in machine.fetch_queue:
+            timeline = self._timeline_for(dyn)
+            if timeline.fetch < 0:
+                timeline.fetch = dyn.fetch_cycle
+
+        # RUU entries: dispatch / issue / completion transitions.
+        for entry in machine.ruu.entries:
+            timeline = self._timeline_for(entry.dyn)
+            if timeline.fetch < 0:
+                timeline.fetch = entry.dyn.fetch_cycle
+            if timeline.dispatch < 0:
+                timeline.dispatch = entry.dispatch_cycle
+            if entry.issued and timeline.issue < 0:
+                timeline.issue = entry.issue_cycle
+            if entry.completed and timeline.complete < 0:
+                timeline.complete = entry.complete_cycle
+
+        # Commits this cycle: entries that left the RUU head in order.
+        committed_now = machine.stats.committed - before_commit
+        if committed_now:
+            for seq in head_seqs[:committed_now]:
+                entry = ruu_before[seq]
+                timeline = self._timeline_for(entry.dyn)
+                if entry.issued and timeline.issue < 0:
+                    timeline.issue = entry.issue_cycle
+                if timeline.complete < 0:
+                    timeline.complete = entry.complete_cycle
+                timeline.commit = cycle
+
+        # Squashes: entries that vanished without committing.
+        surviving = {entry.seq for entry in machine.ruu.entries}
+        for seq, entry in ruu_before.items():
+            if (seq not in surviving
+                    and seq not in head_seqs[:committed_now]):
+                self._timeline_for(entry.dyn).squashed = True
+
+    def _timeline_for(self, dyn) -> InstructionTimeline:
+        timeline = self.timelines.get(dyn.seq)
+        if timeline is None:
+            timeline = InstructionTimeline(seq=dyn.seq, text=str(dyn.inst),
+                                           spec=dyn.spec)
+            self.timelines[dyn.seq] = timeline
+        return timeline
+
+    def committed(self) -> list[InstructionTimeline]:
+        """Timelines of committed instructions, in program order."""
+        return sorted(
+            (t for t in self.timelines.values() if t.commit >= 0),
+            key=lambda t: t.seq)
+
+
+def render_trace(tracer: PipelineTracer, first: int = 0,
+                 count: int = 20) -> str:
+    """Render a pipeline diagram for a window of committed instructions.
+
+    Columns are cycles; cells show F/D/I/C/R for fetch, dispatch,
+    issue, complete, and retire (commit).
+    """
+    rows = tracer.committed()[first:first + count]
+    if not rows:
+        return "(no committed instructions traced)"
+    start = min(t.fetch for t in rows if t.fetch >= 0)
+    end = max(t.commit for t in rows)
+    width = end - start + 1
+    lines = [f"cycles {start}..{end}"]
+    for timeline in rows:
+        cells = [" "] * width
+        for mark, cycle in timeline.stages().items():
+            if cycle >= 0 and start <= cycle <= end:
+                cells[cycle - start] = mark
+        lines.append(f"{timeline.seq:5d} {timeline.text:28s} "
+                     + "".join(cells))
+    return "\n".join(lines)
+
+
+def program_listing(program) -> str:
+    """A human-readable disassembly listing of a program."""
+    lines = []
+    for index, inst in enumerate(program.instructions):
+        lines.append(f"{program.pc_of(index):#010x}  {index:5d}  {inst}")
+    return "\n".join(lines)

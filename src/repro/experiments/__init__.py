@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+See DESIGN.md's experiment index for the mapping from paper figures to
+modules, and ``repro.experiments.runner`` for the CLI that regenerates
+everything.
+"""
+
+from repro.experiments import (  # noqa: F401
+    base,
+    fig1_cumulative_widths,
+    fig2_width_fluctuation,
+    fig4_narrow16_by_class,
+    fig5_narrow33_by_class,
+    fig6_power_saved,
+    fig7_power_total,
+    fig10_packing_speedup,
+    fig11_ipc,
+    load_zero_detect,
+    table1_config,
+    table4_devices,
+)

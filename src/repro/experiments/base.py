@@ -1,0 +1,87 @@
+"""Shared experiment infrastructure.
+
+Every figure/table module builds on :func:`run_workload`, which applies
+the paper's methodology: assemble the benchmark, fast-forward through
+its initialization (Section 3.2's warmup), then run the detailed
+simulator to completion.  Results are memoized per (workload, config,
+scale) within the process so that e.g. Figure 6 and Figure 7 — which
+share the same baseline runs — do not pay for simulation twice.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE, MachineConfig
+from repro.core.machine import Machine, RunResult
+from repro.workloads.registry import (
+    MEDIABENCH,
+    SPECINT95,
+    get_workload,
+    resolve_warmup,
+    suite_workloads,
+)
+
+#: Benchmark display order, following the paper's figures.
+SPEC_ORDER = ("ijpeg", "m88ksim", "go", "xlisp", "compress", "gcc",
+              "vortex", "perl")
+MEDIA_ORDER = ("gsm-encode", "gsm-decode", "mpeg2-encode", "mpeg2-decode",
+               "g721-encode", "g721-decode")
+ALL_ORDER = SPEC_ORDER + MEDIA_ORDER
+
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def run_workload(name: str, config: MachineConfig = BASELINE,
+                 scale: int = 1, use_cache: bool = True) -> RunResult:
+    """Run one benchmark under ``config`` with the paper's warmup
+    methodology; memoized within the process."""
+    key = (name, config, scale)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    workload = get_workload(name)
+    machine = Machine(workload.build(scale), config)
+    machine.fast_forward(resolve_warmup(workload, scale))
+    result = machine.run(max_insts=workload.window)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def spec_names() -> tuple[str, ...]:
+    registered = {w.name for w in suite_workloads(SPECINT95)}
+    return tuple(n for n in SPEC_ORDER if n in registered)
+
+
+def media_names() -> tuple[str, ...]:
+    registered = {w.name for w in suite_workloads(MEDIABENCH)}
+    return tuple(n for n in MEDIA_ORDER if n in registered)
+
+
+def all_names() -> tuple[str, ...]:
+    return spec_names() + media_names()
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 precision: int = 2) -> str:
+    """Render a simple aligned text table (the harness's output format)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    grid = [headers] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in grid) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(grid):
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Figure 5 — operations with both operands <= 33 bits, by class.
+
+"Figure 5 emphasizes this point [that] address calculations result in
+many operations with bitwidths of 33.  From this data it makes sense to
+include a second control signal for clock gating of operands that are
+33-bits or less."
+
+This is the same measurement as Figure 4 at the second hardware cut
+point; load/store address arithmetic joins the eligible set here.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE, MachineConfig
+from repro.experiments.fig4_narrow16_by_class import (
+    NarrowByClassResult,
+    report as _report,
+    run as _run,
+)
+
+CUT = 33
+
+
+def run(config: MachineConfig = BASELINE,
+        scale: int = 1) -> NarrowByClassResult:
+    return _run(config, scale, cut=CUT)
+
+
+def report(result: NarrowByClassResult) -> str:
+    return _report(result, figure="Figure 5")
+
+
+if __name__ == "__main__":
+    print(report(run()))

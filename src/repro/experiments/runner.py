@@ -1,0 +1,92 @@
+"""Command-line runner: regenerate every table and figure.
+
+``repro-experiments`` (or ``python -m repro.experiments.runner``) prints
+the paper's tables and figures one after another.  Individual
+experiments can be selected by name::
+
+    repro-experiments fig7 fig10
+    repro-experiments --scale 2 all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1_cumulative_widths,
+    fig2_width_fluctuation,
+    fig4_narrow16_by_class,
+    fig5_narrow33_by_class,
+    fig6_power_saved,
+    fig7_power_total,
+    fig10_packing_speedup,
+    fig11_ipc,
+    load_zero_detect,
+    table1_config,
+    table4_devices,
+)
+
+
+def _fig10_wide(scale: int) -> str:
+    result = fig10_packing_speedup.run(scale=scale, decode_width=8)
+    return fig10_packing_speedup.report(result)
+
+
+def _fig10_replay(scale: int) -> str:
+    result = fig10_packing_speedup.run(scale=scale, replay=True)
+    return fig10_packing_speedup.report(result)
+
+
+EXPERIMENTS: dict[str, object] = {
+    "table1": lambda scale: table1_config.report(),
+    "table4": lambda scale: table4_devices.report(),
+    "fig1": lambda scale: fig1_cumulative_widths.report(
+        fig1_cumulative_widths.run(scale=scale)),
+    "fig2": lambda scale: fig2_width_fluctuation.report(
+        fig2_width_fluctuation.run(scale=scale)),
+    "fig4": lambda scale: fig4_narrow16_by_class.report(
+        fig4_narrow16_by_class.run(scale=scale)),
+    "fig5": lambda scale: fig5_narrow33_by_class.report(
+        fig5_narrow33_by_class.run(scale=scale)),
+    "fig6": lambda scale: fig6_power_saved.report(
+        fig6_power_saved.run(scale=scale)),
+    "fig7": lambda scale: fig7_power_total.report(
+        fig7_power_total.run(scale=scale)),
+    "loaddetect": lambda scale: load_zero_detect.report(
+        load_zero_detect.run(scale=scale)),
+    "fig10": lambda scale: fig10_packing_speedup.report(
+        fig10_packing_speedup.run(scale=scale)),
+    "fig10-replay": _fig10_replay,
+    "fig10-8wide": _fig10_wide,
+    "fig11": lambda scale: fig11_ipc.report(fig11_ipc.run(scale=scale)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*", default=["all"],
+                        help="experiment names (default: all); one of "
+                             + ", ".join(EXPERIMENTS))
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments) or ["all"]
+    if names == ["all"] or names == []:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        start = time.time()
+        print(EXPERIMENTS[name](args.scale))
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""64-bit Alpha-like instruction set: registers, opcodes, semantics."""
+
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction, Program
+from repro.isa.opcodes import (
+    ALU_CLASSES,
+    CALL_OPS,
+    CONDITIONAL_BRANCHES,
+    MEM_SIZE,
+    PACKABLE_CLASSES,
+    Opcode,
+    OpClass,
+    is_control,
+    op_class,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    REG_INDEX,
+    REG_NAMES,
+    ZERO_REG,
+    RegisterFile,
+    reg_index,
+)
+from repro.isa.semantics import (
+    MASK64,
+    branch_taken,
+    compute,
+    mask64,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "ALU_CLASSES",
+    "CALL_OPS",
+    "CONDITIONAL_BRANCHES",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "MASK64",
+    "MEM_SIZE",
+    "NUM_INT_REGS",
+    "Opcode",
+    "OpClass",
+    "PACKABLE_CLASSES",
+    "Program",
+    "REG_INDEX",
+    "REG_NAMES",
+    "RegisterFile",
+    "ZERO_REG",
+    "branch_taken",
+    "compute",
+    "is_control",
+    "mask64",
+    "op_class",
+    "reg_index",
+    "sext",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,82 @@
+"""Architected integer register file for the 64-bit Alpha-like ISA.
+
+The paper (Section 3.1) simulates an Alpha target with SimpleScalar:
+32 integer registers, with R31 hardwired to zero.  We reproduce that
+convention, including the standard Alpha software names (``v0``, ``t0``,
+``sp``, ``ra``, ...) so that workloads read like real assembly.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+ZERO_REG = 31
+
+#: Alpha calling-convention names for the 32 integer registers.
+REG_NAMES = (
+    "v0",                                           # r0: return value
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",  # r1-r8: temporaries
+    "s0", "s1", "s2", "s3", "s4", "s5",              # r9-r14: saved
+    "fp",                                            # r15: frame pointer
+    "a0", "a1", "a2", "a3", "a4", "a5",              # r16-r21: arguments
+    "t8", "t9", "t10", "t11",                        # r22-r25: temporaries
+    "ra",                                            # r26: return address
+    "t12",                                           # r27: procedure value
+    "at",                                            # r28: assembler temp
+    "gp",                                            # r29: global pointer
+    "sp",                                            # r30: stack pointer
+    "zero",                                          # r31: hardwired zero
+)
+
+#: Map from register name (and the raw ``r<n>`` spelling) to index.
+REG_INDEX: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+REG_INDEX.update({f"r{i}": i for i in range(NUM_INT_REGS)})
+
+
+def reg_index(name: str | int) -> int:
+    """Resolve a register name or raw index to a register number.
+
+    Accepts Alpha software names (``"sp"``), raw spellings (``"r30"``),
+    or plain integers.  Raises ``KeyError``/``ValueError`` on bad input.
+    """
+    if isinstance(name, int):
+        if not 0 <= name < NUM_INT_REGS:
+            raise ValueError(f"register index out of range: {name}")
+        return name
+    return REG_INDEX[name.lower()]
+
+
+class RegisterFile:
+    """The architected integer register file.
+
+    Values are stored as unsigned 64-bit integers (Python ints in
+    ``[0, 2**64)``).  Reads of R31 always return zero and writes to it
+    are discarded, matching the Alpha architecture.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_INT_REGS
+
+    def read(self, index: int) -> int:
+        """Return the 64-bit unsigned value of register ``index``."""
+        if index == ZERO_REG:
+            return 0
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write a 64-bit value to register ``index`` (R31 writes ignored)."""
+        if index != ZERO_REG:
+            self._regs[index] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def snapshot(self) -> list[int]:
+        """Return a copy of the register contents (for speculation)."""
+        return list(self._regs)
+
+    def restore(self, snap: list[int]) -> None:
+        """Restore register contents from a previous :meth:`snapshot`."""
+        self._regs[:] = snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = {REG_NAMES[i]: v for i, v in enumerate(self._regs) if v}
+        return f"RegisterFile({live})"

@@ -1,0 +1,140 @@
+"""Functional semantics of the Alpha-like ISA.
+
+All values are unsigned 64-bit integers (Python ints in ``[0, 2**64)``);
+signed behaviour is obtained through explicit two's-complement
+conversion, exactly as the paper assumes ("Numbers are expressed in
+two's complement form", Section 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+SIGN_BIT = 1 << 63
+
+
+def mask64(value: int) -> int:
+    """Truncate ``value`` to 64 bits (two's-complement wraparound)."""
+    return value & MASK64
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as a signed quadword."""
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Convert a (possibly negative) Python int to its 64-bit pattern."""
+    return value & MASK64
+
+
+def sext(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to 64 bits."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & MASK64
+
+
+def _sext32(value: int) -> int:
+    return sext(value, 32)
+
+
+def _zapnot(a: int, b: int) -> int:
+    """Keep only the bytes of ``a`` whose select bit is set in ``b``."""
+    result = 0
+    for byte in range(8):
+        if b & (1 << byte):
+            result |= a & (0xFF << (8 * byte))
+    return result
+
+
+def compute(op: Opcode, a: int, b: int, old_dest: int = 0) -> int:
+    """Compute the 64-bit result of a non-memory, non-control operation.
+
+    ``a`` and ``b`` are the resolved source values (register contents or
+    literals, already 64-bit unsigned).  ``old_dest`` is the previous
+    destination value, read only by conditional moves.
+    """
+    if op is Opcode.ADDQ or op is Opcode.LDA:
+        return mask64(a + b)
+    if op is Opcode.SUBQ:
+        return mask64(a - b)
+    if op is Opcode.ADDL:
+        return _sext32(a + b)
+    if op is Opcode.SUBL:
+        return _sext32(a - b)
+    if op is Opcode.S4ADDQ:
+        return mask64(4 * a + b)
+    if op is Opcode.S8ADDQ:
+        return mask64(8 * a + b)
+    if op is Opcode.LDAH:
+        return mask64(a + mask64(b << 16))
+    if op is Opcode.CMPEQ:
+        return 1 if a == b else 0
+    if op is Opcode.CMPLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Opcode.CMPLE:
+        return 1 if to_signed(a) <= to_signed(b) else 0
+    if op is Opcode.CMPULT:
+        return 1 if a < b else 0
+    if op is Opcode.CMPULE:
+        return 1 if a <= b else 0
+    if op is Opcode.MULQ:
+        return mask64(a * b)
+    if op is Opcode.MULL:
+        return _sext32(a * b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.BIS:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.BIC:
+        return a & ~b & MASK64
+    if op is Opcode.ORNOT:
+        return (a | ~b) & MASK64
+    if op is Opcode.EQV:
+        return (a ^ ~b) & MASK64
+    if op is Opcode.CMOVEQ:
+        return b if a == 0 else old_dest
+    if op is Opcode.CMOVNE:
+        return b if a != 0 else old_dest
+    if op is Opcode.ZAPNOT:
+        return _zapnot(a, b)
+    if op is Opcode.SLL:
+        return mask64(a << (b & 0x3F))
+    if op is Opcode.SRL:
+        return a >> (b & 0x3F)
+    if op is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> (b & 0x3F))
+    if op is Opcode.EXTBL:
+        return (a >> (8 * (b & 0x7))) & 0xFF
+    if op is Opcode.EXTWL:
+        return (a >> (8 * (b & 0x7))) & 0xFFFF
+    if op is Opcode.NOP:
+        return 0
+    raise ValueError(f"compute() does not handle opcode {op}")
+
+
+def branch_taken(op: Opcode, a: int) -> bool:
+    """Evaluate a conditional branch's condition on register value ``a``."""
+    signed = to_signed(a)
+    if op is Opcode.BEQ:
+        return a == 0
+    if op is Opcode.BNE:
+        return a != 0
+    if op is Opcode.BLT:
+        return signed < 0
+    if op is Opcode.BLE:
+        return signed <= 0
+    if op is Opcode.BGT:
+        return signed > 0
+    if op is Opcode.BGE:
+        return signed >= 0
+    if op is Opcode.BLBC:
+        return (a & 1) == 0
+    if op is Opcode.BLBS:
+        return (a & 1) == 1
+    raise ValueError(f"branch_taken() does not handle opcode {op}")

@@ -1,0 +1,18 @@
+"""Memory substrate: backing store, caches, TLBs, hierarchy (Table 1)."""
+
+from repro.memory.backing import MainMemory, SpeculativeMemory
+from repro.memory.cache import Cache, CacheStats, PerfectCache
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.tlb import TLB, TLBStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "HierarchyConfig",
+    "MainMemory",
+    "MemoryHierarchy",
+    "PerfectCache",
+    "SpeculativeMemory",
+    "TLB",
+    "TLBStats",
+]

@@ -1,0 +1,23 @@
+"""Issue-time operation packing (paper Section 5, Figures 8-9)."""
+
+from repro.packing.pack import (
+    REPLAY_OPS,
+    OpenPack,
+    is_full_pack_candidate,
+    is_replay_pack_candidate,
+    open_pack,
+    pack_key,
+    replay_overflows,
+    try_join,
+)
+
+__all__ = [
+    "OpenPack",
+    "REPLAY_OPS",
+    "is_full_pack_candidate",
+    "is_replay_pack_candidate",
+    "open_pack",
+    "pack_key",
+    "replay_overflows",
+    "try_join",
+]

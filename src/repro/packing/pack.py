@@ -1,0 +1,137 @@
+"""Operation packing decision logic (paper Section 5).
+
+The issue stage consults this module to merge ready narrow-width
+operations into a shared 64-bit ALU, "akin to dynamically generating
+multimedia instructions" (Section 5.1).  The three paper rules for a
+pack member (Section 5.2):
+
+1. data dependencies satisfied and ready to issue (checked by issue),
+2. both operands <= 16 bits (the RUU width tags),
+3. same operation as the rest of the pack.
+
+*Replay packing* (Section 5.3) relaxes rule 2: an operation with one
+narrow and one wide operand may pack speculatively; if the 16-bit lane
+overflows into the wide operand's upper bits the instruction is
+squashed and re-issued full-width via a replay trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PackingConfig
+from repro.core.ruu import RUUEntry
+from repro.isa.opcodes import PACKABLE_CLASSES, Opcode
+
+#: Operations eligible for replay packing.  The paper restricts the
+#: speculation to arithmetic where "in most arithmetic operations only
+#: the lower bits of the result will change" — add/subtract flavours.
+#: Logic/shift results do not pass the wide operand's upper bits
+#: through, so speculating on them would be wrong, not just slow.
+REPLAY_OPS = frozenset(
+    {Opcode.ADDQ, Opcode.SUBQ, Opcode.ADDL, Opcode.SUBL, Opcode.LDA}
+)
+
+_HIGH48_SHIFT = 16
+
+
+@dataclass
+class OpenPack:
+    """A partially filled ALU pack being assembled this issue cycle."""
+
+    key: object                  # opcode (or op class) shared by members
+    lanes_left: int              # free 16-bit subword lanes
+    has_wide: bool = False       # a replay member occupies the upper bits
+    wide_leader: bool = False    # the pack was *opened* by a wide op and
+    #                              becomes speculative only if joined
+    members: list[RUUEntry] = field(default_factory=list)
+
+
+def pack_key(entry: RUUEntry, config: PackingConfig) -> object:
+    """Grouping key: the paper requires members to 'perform the same
+    operation' — identical opcodes by default, same class if relaxed."""
+    if config.same_opcode:
+        return entry.dyn.inst.opcode
+    return entry.dyn.op_class
+
+
+def is_full_pack_candidate(entry: RUUEntry) -> bool:
+    """Rule 2+3 precheck: packable class and both operands narrow."""
+    if entry.no_pack or entry.dyn.op_class not in PACKABLE_CLASSES:
+        return False
+    return entry.dyn.pair_narrow16
+
+
+def is_replay_pack_candidate(entry: RUUEntry,
+                             config: PackingConfig) -> bool:
+    """Section 5.3 candidate: add/sub with exactly one narrow operand."""
+    if not config.replay or entry.no_pack:
+        return False
+    if entry.dyn.inst.opcode not in REPLAY_OPS:
+        return False
+    return entry.dyn.tag_a.narrow16 != entry.dyn.tag_b.narrow16
+
+
+def replay_overflows(entry: RUUEntry) -> bool:
+    """Did the speculatively packed operation carry into the upper bits?
+
+    The pack hardware computes the low 16 bits in a lane and muxes the
+    wide operand's upper 48 bits onto the result bus; the speculation
+    fails exactly when the true result's upper 48 bits differ from the
+    wide operand's (Section 5.3: "in the rare cases that there is
+    overflow from the 16-bit addition, the instruction can be squashed
+    and subsequently re-issued").
+    """
+    dyn = entry.dyn
+    wide = dyn.b_val if dyn.tag_a.narrow16 else dyn.a_val
+    result = dyn.result if dyn.result is not None else 0
+    return (result >> _HIGH48_SHIFT) != (wide >> _HIGH48_SHIFT)
+
+
+def try_join(packs: dict[object, OpenPack], entry: RUUEntry,
+             config: PackingConfig) -> tuple[OpenPack | None, bool]:
+    """Try to place ``entry`` into an open pack.
+
+    Returns ``(pack, is_replay_member)``; ``pack`` is None when the
+    entry cannot join any pack open this cycle.
+    """
+    key = pack_key(entry, config)
+    pack = packs.get(key)
+    if pack is None or pack.lanes_left <= 0:
+        return None, False
+    if is_full_pack_candidate(entry):
+        pack.lanes_left -= 1
+        pack.members.append(entry)
+        return pack, False
+    if not pack.has_wide and is_replay_pack_candidate(entry, config):
+        # The wide operand's upper bits occupy the rest of the ALU, so
+        # only one replay member fits and it closes the pack.
+        pack.has_wide = True
+        pack.lanes_left = 0
+        pack.members.append(entry)
+        return pack, True
+    return None, False
+
+
+def open_pack(packs: dict[object, OpenPack], entry: RUUEntry,
+              config: PackingConfig) -> OpenPack | None:
+    """Open a new pack seeded by ``entry`` (which issued normally).
+
+    A narrow operation opens a pack with ``max_subwords - 1`` free
+    lanes.  With replay packing enabled, a *wide* replay candidate may
+    also open a pack: its upper bits occupy the mux path, leaving
+    exactly one low lane for a narrow companion — the speculation (and
+    possible replay trap) is only engaged if a companion actually
+    joins.
+    """
+    key = pack_key(entry, config)
+    if is_full_pack_candidate(entry):
+        pack = OpenPack(key=key, lanes_left=config.max_subwords - 1,
+                        members=[entry])
+    elif is_replay_pack_candidate(entry, config):
+        pack = OpenPack(key=key, lanes_left=1, has_wide=True,
+                        wide_leader=True, members=[entry])
+    else:
+        return None
+    packs[key] = pack
+    return pack

@@ -1,0 +1,46 @@
+"""Clock-gating power model (paper Section 4, Table 4, Figures 3/6/7)."""
+
+from repro.power.accounting import PowerAccountant, PowerReport
+from repro.power.devices import (
+    DEVICE_OF_CLASS,
+    MUX_OVERHEAD_MW,
+    POWER_64BIT_MW,
+    ZERO_DETECT_MW,
+    Device,
+    device_for,
+    device_power,
+)
+from repro.power.gating import (
+    FULL_GATING,
+    OPCODE_ONLY,
+    GatingPolicy,
+    gate_width,
+)
+from repro.power.thermal import (
+    Mode,
+    ThermalConfig,
+    ThermalController,
+    ThermalModel,
+    run_managed,
+)
+
+__all__ = [
+    "DEVICE_OF_CLASS",
+    "Device",
+    "FULL_GATING",
+    "GatingPolicy",
+    "MUX_OVERHEAD_MW",
+    "OPCODE_ONLY",
+    "POWER_64BIT_MW",
+    "Mode",
+    "PowerAccountant",
+    "PowerReport",
+    "ThermalConfig",
+    "ThermalController",
+    "ThermalModel",
+    "ZERO_DETECT_MW",
+    "device_for",
+    "device_power",
+    "gate_width",
+    "run_managed",
+]

@@ -1,0 +1,146 @@
+"""Power accounting for the integer execution unit.
+
+Reproduces the methodology of Section 4.4:
+
+* **Baseline**: every executed integer-unit operation is charged the
+  64-bit power of its device class ("we assume that all operations use
+  the amount of power that a 64-bit device would use", with basic
+  opcode-based gating between device classes already assumed).
+* **Gated**: operations whose operand tags allow it run on a 16- or
+  33-bit slice; the remainder is clock-gated off.
+* **Overhead**: zero-detect power per produced result plus mux power
+  per gated operation (Table 4's last two rows; Figure 6 "total extra
+  used is the amount used by zero detection and muxing").
+
+Per-cycle figures are obtained by dividing accumulated energy-per-op
+totals by the cycle count, which equals the paper's "determining the
+amount of power saved and expended per instruction executed and
+multiplying by the average issue rate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitwidth.detect import CUT_ADDRESS, CUT_NARROW
+from repro.bitwidth.tags import WidthTag
+from repro.isa.opcodes import OpClass
+from repro.power.devices import (
+    MUX_OVERHEAD_MW,
+    ZERO_DETECT_MW,
+    device_for,
+    device_power,
+)
+from repro.power.gating import GatingPolicy, gate_width
+
+
+@dataclass
+class PowerReport:
+    """Final per-cycle power figures for one run (all mW per cycle)."""
+
+    cycles: int
+    baseline: float          # integer-unit power without our optimization
+    gated: float             # with operand-based gating (incl. overhead)
+    saved16: float           # saved by gating at the 16-bit cut (Fig. 6)
+    saved33: float           # saved by gating at the 33-bit cut (Fig. 6)
+    overhead: float          # zero-detect + mux power (Fig. 6 "extra used")
+    ops_total: int
+    ops_gated16: int
+    ops_gated33: int
+    load_dependent_gated: int   # gated ops with a load-produced operand
+
+    @property
+    def net_saved(self) -> float:
+        """Figure 6's "net savings": saved16 + saved33 - overhead."""
+        return self.saved16 + self.saved33 - self.overhead
+
+    @property
+    def reduction_pct(self) -> float:
+        """Percent reduction of integer-unit power (Figure 7)."""
+        if self.baseline == 0:
+            return 0.0
+        return 100.0 * (self.baseline - self.gated) / self.baseline
+
+    @property
+    def load_dependent_pct(self) -> float:
+        """Percent of power-saving operations with >=1 operand straight
+        from a load (the 13.1% / 1.5% statistic of Section 4.2)."""
+        gated = self.ops_gated16 + self.ops_gated33
+        if gated == 0:
+            return 0.0
+        return 100.0 * self.load_dependent_gated / gated
+
+
+@dataclass
+class PowerAccountant:
+    """Accumulates per-operation power during a simulation run."""
+
+    policy: GatingPolicy = field(default_factory=GatingPolicy)
+
+    baseline_total: float = 0.0
+    gated_total: float = 0.0
+    saved16_total: float = 0.0
+    saved33_total: float = 0.0
+    overhead_total: float = 0.0
+    ops_total: int = 0
+    ops_gated16: int = 0
+    ops_gated33: int = 0
+    load_dependent_gated: int = 0
+    #: execution counts per (OpClass, gate width) — feeds Figures 4-6.
+    class_width_counts: dict[tuple[OpClass, int], int] = field(
+        default_factory=dict)
+
+    def record_op(self, op_class: OpClass, tag_a: WidthTag, tag_b: WidthTag,
+                  produces_result: bool = True,
+                  operand_from_load: bool = False) -> int:
+        """Account one executed integer-unit operation.
+
+        Returns the gate width chosen (16, 33, or 64) so callers can
+        reuse the decision.  ``operand_from_load`` marks operations with
+        at least one source operand produced directly by a load.
+        """
+        device = device_for(op_class)
+        if device is None:
+            return 64
+        self.ops_total += 1
+        base = device_power(device, 64)
+        self.baseline_total += base
+        width = gate_width(self.policy, tag_a, tag_b)
+        active = device_power(device, width)
+        self.gated_total += active
+        key = (op_class, width)
+        self.class_width_counts[key] = self.class_width_counts.get(key, 0) + 1
+        if width == CUT_NARROW:
+            self.ops_gated16 += 1
+            self.saved16_total += base - active
+        elif width == CUT_ADDRESS:
+            self.ops_gated33 += 1
+            self.saved33_total += base - active
+        if width != 64:
+            self.overhead_total += MUX_OVERHEAD_MW
+            self.gated_total += MUX_OVERHEAD_MW
+            if operand_from_load:
+                self.load_dependent_gated += 1
+        if produces_result and self.policy.enabled:
+            # The zero/ones-detect runs on every produced result to
+            # create its width tag.
+            self.overhead_total += ZERO_DETECT_MW
+            self.gated_total += ZERO_DETECT_MW
+        return width
+
+    def report(self, cycles: int) -> PowerReport:
+        """Convert accumulated energy-per-op totals to per-cycle power."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        return PowerReport(
+            cycles=cycles,
+            baseline=self.baseline_total / cycles,
+            gated=self.gated_total / cycles,
+            saved16=self.saved16_total / cycles,
+            saved33=self.saved33_total / cycles,
+            overhead=self.overhead_total / cycles,
+            ops_total=self.ops_total,
+            ops_gated16=self.ops_gated16,
+            ops_gated33=self.ops_gated33,
+            load_dependent_gated=self.load_dependent_gated,
+        )

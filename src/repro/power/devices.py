@@ -1,0 +1,72 @@
+"""Functional-unit power estimates — the paper's Table 4.
+
+Values are mW at 3.3 V / 500 MHz, assuming dynamic logic and fast
+carry-lookahead adders; the multiplier is pipelined "with its power
+usage scaling linearly with the operand size" (Section 4.4).  Table 4
+lists 32/48/64-bit columns that are linear in width, so intermediate
+widths (the 16- and 33-bit gated slices) are interpolated linearly
+through the origin, which reproduces the listed columns exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.opcodes import OpClass
+
+
+class Device(enum.Enum):
+    """Integer-unit datapath devices of Table 4."""
+
+    ADDER = "adder"                # carry-lookahead adder
+    MULTIPLIER = "multiplier"      # Booth multiplier
+    LOGIC = "logic"                # bit-wise logic
+    SHIFTER = "shifter"
+
+
+#: Table 4, 64-bit column (mW).  The 32- and 48-bit columns follow from
+#: linear width scaling: P(w) = P64 * w / 64.
+POWER_64BIT_MW: dict[Device, float] = {
+    Device.ADDER: 210.0,
+    Device.MULTIPLIER: 2100.0,
+    Device.LOGIC: 11.7,
+    Device.SHIFTER: 8.8,
+}
+
+#: Table 4 overhead rows (mW): the zero-detect logic and the widened
+#: result-bus muxes added by the gating architecture (Figure 3).
+ZERO_DETECT_MW = 4.2
+MUX_OVERHEAD_MW = 3.2
+
+#: Which device each operation class exercises.  Memory and control
+#: operations run their address/condition arithmetic on the adder
+#: (Table 1: the integer ALUs perform "arithmetic, logical, shift,
+#: memory, branch ops").
+DEVICE_OF_CLASS: dict[OpClass, Device | None] = {
+    OpClass.INT_ARITH: Device.ADDER,
+    OpClass.INT_MULT: Device.MULTIPLIER,
+    OpClass.INT_LOGIC: Device.LOGIC,
+    OpClass.INT_SHIFT: Device.SHIFTER,
+    OpClass.LOAD: Device.ADDER,
+    OpClass.STORE: Device.ADDER,
+    OpClass.BRANCH: Device.ADDER,
+    OpClass.JUMP: Device.ADDER,
+    OpClass.NOP: None,
+    OpClass.HALT: None,
+}
+
+
+def device_power(device: Device, width: int) -> float:
+    """Power (mW) of ``device`` operating on a ``width``-bit slice.
+
+    ``device_power(d, 64)`` returns the Table 4 64-bit column;
+    ``device_power(d, 32)`` returns its 32-bit column (linear scaling).
+    """
+    if not 0 < width <= 64:
+        raise ValueError(f"width must be in 1..64, got {width}")
+    return POWER_64BIT_MW[device] * width / 64.0
+
+
+def device_for(op_class: OpClass) -> Device | None:
+    """Device exercised by an operation class (None = no datapath work)."""
+    return DEVICE_OF_CLASS[op_class]

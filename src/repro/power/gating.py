@@ -1,0 +1,66 @@
+"""Operand-value-based clock gating (paper Section 4, Figure 3).
+
+:class:`GatingPolicy` captures the configuration space the paper
+explores:
+
+* ``gate16`` — the base mechanism: gate the upper 48 bits when both
+  operands are ≤16 bits (the ``zero48`` path of Figure 3);
+* ``gate33`` — the second cut point added for address calculations
+  (Section 4.3 / Figure 5);
+* ``detect_loads`` — whether a cache-side zero detect tags incoming
+  load data (Section 4.2 notes some processors cannot do this and
+  quantifies the loss);
+* ``operand_based`` — when False, models only the *prior-work* baseline
+  (opcode-based gating, already assumed in the paper's baseline), an
+  ablation knob.
+
+:func:`gate_width` is the per-operation gating decision: given the
+width tags of the two source operands, which functional-unit slice
+stays on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitwidth.detect import CUT_ADDRESS, CUT_NARROW
+from repro.bitwidth.tags import WidthTag
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Configuration of the clock-gating hardware."""
+
+    gate16: bool = True
+    gate33: bool = True
+    detect_loads: bool = True
+    operand_based: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.operand_based and (self.gate16 or self.gate33)
+
+
+#: The paper's full proposal (both cut points, loads detected).
+FULL_GATING = GatingPolicy()
+
+#: Prior-work baseline: opcode-based gating only.
+OPCODE_ONLY = GatingPolicy(gate16=False, gate33=False, operand_based=False)
+
+
+def gate_width(policy: GatingPolicy, tag_a: WidthTag, tag_b: WidthTag) -> int:
+    """Width of the functional-unit slice left running for an operation
+    whose source operands carry tags ``tag_a`` and ``tag_b``.
+
+    Returns 16, 33, or 64.  Both operands must be narrow for gating to
+    apply (Figure 4 caption: "Both operands must be small in order for
+    the clock gating to be allowed").
+    """
+    if not policy.enabled:
+        return 64
+    pair = tag_a.combine(tag_b)
+    if policy.gate16 and pair.narrow16:
+        return CUT_NARROW
+    if policy.gate33 and pair.narrow33:
+        return CUT_ADDRESS
+    return 64

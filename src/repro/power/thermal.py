@@ -1,0 +1,189 @@
+"""Thermal management: switching between the two optimizations.
+
+Section 5 of the paper: "because the techniques share a common hardware
+base, one could implement both and choose between them.  For example,
+one could use thermal sensory data to have the processor switch between
+the two techniques, depending on current thermal or performance
+concerns.  Related but simpler approaches are already found in
+commercial processors; for example, the IBM/Motorola PPC750 is equipped
+with an on-chip thermal assist unit and temperature sensor which
+responds to thermal emergencies."
+
+This module implements that sketch: a first-order RC thermal model of
+the integer unit driven by the power accountant's per-cycle numbers,
+and a two-threshold (hysteretic) controller that runs in *packing* mode
+(performance) while cool and falls back to *gating* mode (power) when
+the sensor crosses the hot threshold — the PPC750-style thermal assist
+policy applied to the paper's shared hardware base.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mode(enum.Enum):
+    """Which use of the shared narrow-width hardware is active."""
+
+    PACKING = "packing"    # performance: merge narrow ops (Section 5)
+    GATING = "gating"      # power: clock-gate narrow ops (Section 4)
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """First-order RC package model + controller thresholds.
+
+    Temperatures are in degrees Celsius; power in mW.  The defaults
+    give a time constant of a few thousand cycles so mode switches are
+    observable in short simulations while the dynamics stay physical
+    (heating toward ``ambient + power * resistance``).
+    """
+
+    ambient_c: float = 45.0
+    #: thermal resistance junction->ambient (C per mW)
+    resistance_c_per_mw: float = 0.08
+    #: exponential smoothing factor per evaluation interval (RC model)
+    alpha: float = 0.02
+    #: controller thresholds (hysteresis band)
+    hot_c: float = 72.0
+    cool_c: float = 65.0
+    #: cycles between sensor evaluations
+    interval_cycles: int = 256
+
+
+class ThermalModel:
+    """First-order thermal RC model driven by per-interval power."""
+
+    def __init__(self, config: ThermalConfig | None = None) -> None:
+        self.config = config or ThermalConfig()
+        self.temperature_c = self.config.ambient_c
+
+    def step(self, power_mw: float) -> float:
+        """Advance one evaluation interval at the given average power;
+        returns the new junction temperature."""
+        cfg = self.config
+        steady = cfg.ambient_c + power_mw * cfg.resistance_c_per_mw
+        self.temperature_c += cfg.alpha * (steady - self.temperature_c)
+        return self.temperature_c
+
+
+@dataclass
+class ThermalStats:
+    intervals: int = 0
+    switches: int = 0
+    packing_intervals: int = 0
+    gating_intervals: int = 0
+    max_temperature_c: float = 0.0
+
+    @property
+    def packing_fraction(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return self.packing_intervals / self.intervals
+
+
+class ThermalController:
+    """Hysteretic mode controller over the shared hardware base.
+
+    Call :meth:`observe` once per evaluation interval with the integer
+    unit's average power over that interval; read :attr:`mode` to know
+    which optimization should be active for the next interval.
+    """
+
+    def __init__(self, config: ThermalConfig | None = None) -> None:
+        self.config = config or ThermalConfig()
+        self.model = ThermalModel(self.config)
+        self.mode = Mode.PACKING
+        self.stats = ThermalStats()
+
+    def observe(self, power_mw: float) -> Mode:
+        temperature = self.model.step(power_mw)
+        self.stats.intervals += 1
+        self.stats.max_temperature_c = max(self.stats.max_temperature_c,
+                                           temperature)
+        if self.mode is Mode.PACKING and temperature >= self.config.hot_c:
+            self.mode = Mode.GATING
+            self.stats.switches += 1
+        elif self.mode is Mode.GATING and temperature <= self.config.cool_c:
+            self.mode = Mode.PACKING
+            self.stats.switches += 1
+        if self.mode is Mode.PACKING:
+            self.stats.packing_intervals += 1
+        else:
+            self.stats.gating_intervals += 1
+        return self.mode
+
+
+@dataclass
+class ThermalRunResult:
+    """Outcome of a thermally managed run (see :func:`run_managed`)."""
+
+    cycles: int
+    committed: int
+    stats: ThermalStats
+    mean_power_mw: float
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+def run_managed(program, config=None, thermal: ThermalConfig | None = None,
+                max_insts: int | None = None,
+                warmup: int = 0) -> ThermalRunResult:
+    """Simulate ``program`` under thermal management.
+
+    The machine runs with packing enabled; every sensor interval the
+    controller inspects integer-unit power and, when hot, switches the
+    shared hardware into gating mode (packing disabled, gated power
+    drawn) until the unit cools.  This models the paper's proposal of
+    one hardware base serving both optimizations, time-multiplexed by a
+    thermal assist unit.
+    """
+    from repro.core.config import BASELINE
+    from repro.core.machine import Machine
+
+    config = config or BASELINE
+    thermal = thermal or ThermalConfig()
+    controller = ThermalController(thermal)
+
+    machine = Machine(program, config.with_packing(replay=True))
+    if warmup:
+        machine.fast_forward(warmup)
+    # Gating-mode power is what the accountant reports as `gated`;
+    # packing-mode power is the ungated baseline (units run full width).
+    last = (0.0, 0.0, 0)   # (baseline_mw_total, gated_mw_total, cycles)
+    energy_mw_cycles = 0.0
+    target = max_insts
+
+    while not machine.done and (target is None
+                                or machine.stats.committed < target):
+        for _ in range(thermal.interval_cycles):
+            machine._step()
+            if machine.done:
+                break
+        acc = machine.accountant
+        baseline_delta = acc.baseline_total - last[0]
+        gated_delta = acc.gated_total - last[1]
+        cycle_delta = machine.stats.cycles - last[2]
+        last = (acc.baseline_total, acc.gated_total, machine.stats.cycles)
+        if cycle_delta == 0:
+            break
+        if controller.mode is Mode.PACKING:
+            interval_power = baseline_delta / cycle_delta
+        else:
+            interval_power = gated_delta / cycle_delta
+        energy_mw_cycles += interval_power * cycle_delta
+        mode = controller.observe(interval_power)
+        # Apply the mode to the shared hardware: packing on/off.
+        machine.config = (config.with_packing(replay=True)
+                          if mode is Mode.PACKING else config)
+
+    cycles = machine.stats.cycles
+    return ThermalRunResult(
+        cycles=cycles,
+        committed=machine.stats.committed,
+        stats=controller.stats,
+        mean_power_mw=energy_mw_cycles / cycles if cycles else 0.0,
+    )

@@ -1,0 +1,13 @@
+"""Statistics collection: counters, width histograms, fluctuation."""
+
+from repro.stats.counters import CoreStats, speedup_pct
+from repro.stats.fluctuation import FluctuationTracker
+from repro.stats.widths import WIDTH_TRACKED_CLASSES, WidthHistogram
+
+__all__ = [
+    "CoreStats",
+    "FluctuationTracker",
+    "WIDTH_TRACKED_CLASSES",
+    "WidthHistogram",
+    "speedup_pct",
+]

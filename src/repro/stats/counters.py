@@ -1,0 +1,58 @@
+"""Core simulation counters.
+
+One :class:`CoreStats` instance is owned by each
+:class:`~repro.core.machine.Machine` and summarizes a run: the IPC and
+speedup numbers of Figures 10/11 all derive from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Counters accumulated over one simulation run."""
+
+    cycles: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    completed: int = 0
+    committed: int = 0
+
+    # control flow
+    branches_committed: int = 0
+    cond_branches_committed: int = 0
+    mispredicts: int = 0
+
+    # narrow-width optimizations
+    packed_ops: int = 0          # instructions issued inside a pack (>= 2)
+    pack_groups: int = 0         # number of multi-instruction packs issued
+    replay_packed_ops: int = 0   # ops packed speculatively (one wide operand)
+    replay_traps: int = 0        # replay-packed ops that overflowed
+
+    # per-class committed instruction mix
+    class_mix: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle (the paper's IPC metric)."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.cond_branches_committed:
+            return 1.0
+        return 1.0 - self.mispredicts / self.cond_branches_committed
+
+    def count_class(self, name: str) -> None:
+        self.class_mix[name] = self.class_mix.get(name, 0) + 1
+
+
+def speedup_pct(baseline_cycles: int, optimized_cycles: int) -> float:
+    """Percent speedup of an optimized run over a baseline run of the
+    same program (equal committed instruction counts assumed)."""
+    if optimized_cycles <= 0:
+        raise ValueError("optimized cycle count must be positive")
+    return 100.0 * (baseline_cycles / optimized_cycles - 1.0)

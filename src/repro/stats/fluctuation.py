@@ -1,0 +1,65 @@
+"""Per-PC operand-width fluctuation tracking (paper Figure 2).
+
+Figure 2 reports "the percentage of PC values where operand width
+changes as the instruction is executed repeatedly within a single run"
+— specifically, how often an instruction fluctuates between the
+<=16-bit and >16-bit operand classes.  The paper uses this to argue
+that static compiler analysis cannot pin down operand widths: with
+*realistic* branch prediction, wrong-path executions visit uncommon
+paths and widths fluctuate more than with perfect prediction.
+
+The tracker therefore records *executed* (not only committed)
+operations, exactly as a hardware mechanism would observe them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitwidth.detect import CUT_NARROW
+
+
+@dataclass
+class FluctuationTracker:
+    """Tracks, per PC, whether the <=16-bit / >16-bit operand class of
+    an instruction changed over the run."""
+
+    threshold: int = CUT_NARROW
+    #: pc -> (last_class_narrow, execution_count, ever_changed)
+    _state: dict[int, tuple[bool, int, bool]] = field(default_factory=dict)
+
+    def record(self, pc: int, pair_width: int) -> None:
+        """Record one execution of the instruction at ``pc``."""
+        narrow = pair_width <= self.threshold
+        entry = self._state.get(pc)
+        if entry is None:
+            self._state[pc] = (narrow, 1, False)
+            return
+        last_narrow, count, changed = entry
+        self._state[pc] = (narrow, count + 1,
+                           changed or (narrow != last_narrow))
+
+    @property
+    def total_pcs(self) -> int:
+        """Distinct PCs observed."""
+        return len(self._state)
+
+    @property
+    def eligible_pcs(self) -> int:
+        """PCs executed at least twice (a single execution cannot
+        fluctuate)."""
+        return sum(1 for _, count, _ in self._state.values() if count >= 2)
+
+    @property
+    def changed_pcs(self) -> int:
+        """PCs whose operand class crossed the threshold at least once."""
+        return sum(1 for _, _, changed in self._state.values() if changed)
+
+    @property
+    def fluctuation_pct(self) -> float:
+        """Figure 2's y-axis: % of (repeatedly executed) PCs whose
+        operand precision crossed the 16-bit line during the run."""
+        eligible = self.eligible_pcs
+        if eligible == 0:
+            return 0.0
+        return 100.0 * self.changed_pcs / eligible

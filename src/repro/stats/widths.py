@@ -1,0 +1,102 @@
+"""Operand-bitwidth statistics (paper Figures 1, 4, 5).
+
+For every executed integer-unit operation the core records the
+*effective width of the operand pair* (the wider of the two source
+operands, per the paper's "both operands must be narrow" rule) together
+with the operation class.  From this histogram the experiments derive:
+
+* Figure 1 — cumulative % of operations with both operands <= N bits;
+* Figure 4 — % of operations <= 16 bits, split by class;
+* Figure 5 — % of operations <= 33 bits, split by class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitwidth.detect import WORD_WIDTH
+from repro.isa.opcodes import OpClass
+
+#: Classes counted as "integer operations" in the paper's Figures 1/4/5
+#: (Figure 1 explicitly "includes address calculations").
+WIDTH_TRACKED_CLASSES = (
+    OpClass.INT_ARITH,
+    OpClass.INT_MULT,
+    OpClass.INT_LOGIC,
+    OpClass.INT_SHIFT,
+    OpClass.LOAD,
+    OpClass.STORE,
+    OpClass.BRANCH,
+)
+
+
+@dataclass
+class WidthHistogram:
+    """Histogram of operand-pair widths by operation class."""
+
+    #: counts[op_class][width] for width in 1..64
+    counts: dict[OpClass, list[int]] = field(default_factory=dict)
+    total: int = 0
+
+    def record(self, op_class: OpClass, pair_width: int) -> None:
+        """Record one executed operation whose operand pair needs
+        ``pair_width`` bits."""
+        if not 1 <= pair_width <= WORD_WIDTH:
+            raise ValueError(f"pair width out of range: {pair_width}")
+        per_class = self.counts.get(op_class)
+        if per_class is None:
+            per_class = [0] * (WORD_WIDTH + 1)
+            self.counts[op_class] = per_class
+        per_class[pair_width] += 1
+        self.total += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def class_total(self, op_class: OpClass) -> int:
+        per_class = self.counts.get(op_class)
+        return sum(per_class) if per_class else 0
+
+    def count_at_most(self, bits: int,
+                      classes: tuple[OpClass, ...] | None = None) -> int:
+        """Operations whose operand pair fits in ``bits`` bits."""
+        classes = classes or tuple(self.counts)
+        total = 0
+        for op_class in classes:
+            per_class = self.counts.get(op_class)
+            if per_class:
+                total += sum(per_class[1:bits + 1])
+        return total
+
+    def cumulative_pct(self, bits: int,
+                       classes: tuple[OpClass, ...] | None = None) -> float:
+        """Figure 1's y-axis: cumulative % of operations <= ``bits``."""
+        classes = classes or tuple(self.counts)
+        denom = sum(self.class_total(c) for c in classes)
+        if denom == 0:
+            return 0.0
+        return 100.0 * self.count_at_most(bits, classes) / denom
+
+    def cumulative_curve(
+            self, classes: tuple[OpClass, ...] | None = None) -> list[float]:
+        """The full Figure 1 curve: cumulative % for widths 1..64."""
+        classes = classes or tuple(self.counts)
+        denom = sum(self.class_total(c) for c in classes)
+        curve: list[float] = []
+        running = 0
+        for bits in range(1, WORD_WIDTH + 1):
+            running += sum(
+                self.counts[c][bits] for c in classes if c in self.counts)
+            curve.append(100.0 * running / denom if denom else 0.0)
+        return curve
+
+    def narrow_pct_by_class(self, bits: int) -> dict[OpClass, float]:
+        """Figures 4/5: per-class narrow operations as % of *all*
+        tracked operations (so the per-class bars stack to the total)."""
+        denom = sum(self.class_total(c) for c in WIDTH_TRACKED_CLASSES)
+        result: dict[OpClass, float] = {}
+        if denom == 0:
+            return result
+        for op_class in self.counts:
+            narrow = self.count_at_most(bits, (op_class,))
+            result[op_class] = 100.0 * narrow / denom
+        return result

@@ -1,0 +1,21 @@
+"""Benchmark stand-ins for SPECint95 and MediaBench (Tables 2-3)."""
+
+from repro.workloads.registry import (
+    MEDIABENCH,
+    SPECINT95,
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    suite_workloads,
+)
+
+__all__ = [
+    "MEDIABENCH",
+    "SPECINT95",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "suite_workloads",
+]

@@ -1,0 +1,34 @@
+"""Shared assembly idioms for the benchmark kernels."""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler, standard_prologue
+
+
+def prologue(asm: Assembler) -> None:
+    """Standard entry sequence (stack pointer setup)."""
+    standard_prologue(asm)
+
+
+def loop_begin(asm: Assembler, name: str, counter: str, count: int) -> None:
+    """Initialize ``counter`` and open a counted loop labelled ``name``."""
+    asm.li(counter, count)
+    asm.label(name)
+
+
+def loop_end(asm: Assembler, name: str, counter: str) -> None:
+    """Decrement ``counter`` and branch back to ``name`` while nonzero."""
+    asm.op("subq", counter, counter, 1)
+    asm.br("bne", counter, name)
+
+
+def clamp_byte(asm: Assembler, reg: str, tmp: str) -> None:
+    """Clamp ``reg`` to 0..255 using branch-free conditional moves
+    (the saturation idiom of image codecs)."""
+    # if reg < 0: reg = 0
+    asm.op("cmplt", tmp, reg, "zero")      # tmp = reg < 0
+    asm.op("cmovne", reg, tmp, "zero")     # if tmp != 0: reg = 0
+    # if reg > 255: reg = 255
+    asm.li("at", 255)
+    asm.op("cmplt", tmp, "at", reg)        # tmp = 255 < reg
+    asm.op("cmovne", reg, tmp, "at")       # if tmp != 0: reg = 255

@@ -1,0 +1,93 @@
+"""Deterministic input-data generation for the workload stand-ins.
+
+The paper runs SPECint95 with reference inputs and MediaBench with its
+shipped audio/video samples; we cannot run Alpha binaries, so each
+stand-in kernel consumes synthetic data drawn from this deterministic
+PRNG.  Determinism matters twice over: results are reproducible, and
+the *baseline vs optimized* comparisons of Figures 10/11 see identical
+dynamic instruction streams.
+"""
+
+from __future__ import annotations
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class Xorshift64:
+    """xorshift64* PRNG — tiny, fast, and stable across platforms."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        if seed == 0:
+            raise ValueError("seed must be nonzero")
+        self._state = seed & _MASK64
+
+    def next64(self) -> int:
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next64() % bound
+
+    def bytes(self, count: int) -> bytes:
+        """``count`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < count:
+            out += self.next64().to_bytes(8, "little")
+        return bytes(out[:count])
+
+    def words(self, count: int, bits: int = 16, signed: bool = False) -> list[int]:
+        """``count`` values of ``bits`` bits (two's-complement when
+        ``signed``, so audio-like samples are centred on zero)."""
+        values = []
+        span = 1 << bits
+        for _ in range(count):
+            value = self.next64() % span
+            if signed:
+                value -= span // 2
+            values.append(value)
+        return values
+
+
+def audio_samples(count: int, seed: int = 0xACED_5EED) -> list[int]:
+    """16-bit signed samples with a smooth (speech-like) component so
+    GSM/ADPCM stand-ins see realistic small sample-to-sample deltas."""
+    rng = Xorshift64(seed)
+    samples = []
+    level = 0
+    for _ in range(count):
+        # Random walk with mean reversion: mostly small values, the
+        # occasional wider excursion — like a speech envelope.
+        level += rng.next_below(257) - 128
+        level -= level // 8
+        level = max(-32768, min(32767, level))
+        samples.append(level)
+    return samples
+
+
+def image_block(width: int, height: int, seed: int = 0x1234_5678) -> bytes:
+    """8-bit pixels with local smoothness (photographic-ish), for the
+    ijpeg / mpeg2 stand-ins."""
+    rng = Xorshift64(seed)
+    pixels = bytearray(width * height)
+    value = 128
+    for y in range(height):
+        for x in range(width):
+            value += rng.next_below(33) - 16
+            value = max(0, min(255, value))
+            pixels[y * width + x] = value
+    return bytes(pixels)
+
+
+def text_bytes(count: int, seed: int = 0x7E57_DA7A) -> bytes:
+    """ASCII-ish text with realistic letter skew, for compress/perl."""
+    rng = Xorshift64(seed)
+    alphabet = b"etaoinshrdlucmfwypvbgkjqxz     \n"
+    return bytes(alphabet[rng.next_below(len(alphabet))]
+                 for _ in range(count))

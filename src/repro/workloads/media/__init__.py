@@ -1,0 +1,3 @@
+"""MediaBench stand-in kernels (paper Table 3)."""
+
+from repro.workloads.media import g721_k, gsm_k, mpeg2_k  # noqa: F401

@@ -1,0 +1,147 @@
+"""``gsm-encode`` / ``gsm-decode`` stand-ins: GSM 06.10 style long-term
+prediction over streaming 16-bit speech.
+
+The paper singles out *gsm* for its "relatively large number of narrow
+bitwidth multiply operations" (6% of its narrow ops are multiplies).
+The encoder kernel streams several seconds of 16-bit samples, loading
+four per quadword (``ldq`` + ``extwl`` unpacking, the classic pre-BWX
+Alpha sequence), computing the lag-4 LTP cross-correlation — every
+multiply operand a narrow sign-extended sample — and writing the LTP
+residual.  The decoder reconstructs samples from residuals with the
+inverse predictor.  Input and output buffers together exceed the L1,
+so the loops alternate between L1-miss stalls and bursts of narrow
+multiply-accumulate work, as the real codec does on frame data.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Program
+from repro.workloads.common import loop_begin, loop_end, prologue
+from repro.workloads.data import audio_samples
+from repro.workloads.registry import (
+    MEDIABENCH,
+    WARMUP_HALF,
+    Workload,
+    register,
+)
+
+_BUF_BYTES = 40 * 1024         # in + out = 80K resident, > 64K L1
+_LINE = 32                     # one quad (4 samples) per cache line
+
+
+def _unpack_lane(asm: Assembler, dst: str, src: str, lane: int) -> None:
+    """Sign-extend 16-bit sample ``lane`` of quad ``src`` into ``dst``."""
+    asm.op("extwl", dst, src, 2 * lane)
+    asm.op("sll", dst, dst, 48)
+    asm.op("sra", dst, dst, 48)
+
+
+def _encode(scale: int) -> Program:
+    asm = Assembler("gsm-encode")
+    prologue(asm)
+    pcm = asm.alloc("pcm", _BUF_BYTES)
+    resid = asm.alloc("residual", _BUF_BYTES)
+    out = asm.alloc("out", 32)
+    asm.data_words(pcm, audio_samples(_BUF_BYTES // 2), size=2)
+
+    # Register map: s0 pcm ptr  s1 residual ptr  s2..s5 lag accumulators
+    #   a2..a5 previous quad's samples (the lag-4 taps)
+    loop_begin(asm, "frames", "a0", 2 * scale)
+    asm.li("s0", pcm)
+    asm.li("s1", resid)
+    for reg in ("s2", "s3", "s4", "s5", "a2", "a3", "a4", "a5"):
+        asm.clr(reg)
+    loop_begin(asm, "quads", "a1", _BUF_BYTES // _LINE)
+
+    asm.load("ldq", "t0", "s0", 0)               # 4 samples
+    for lane, (cur, prev, acc) in enumerate(
+            zip(("t1", "t2", "t3", "t4"),
+                ("a2", "a3", "a4", "a5"),
+                ("s2", "s3", "s4", "s5"))):
+        _unpack_lane(asm, cur, "t0", lane)
+        asm.op("mulq", "t5", cur, prev)          # narrow x narrow MAC
+        asm.op("sra", "t5", "t5", 6)
+        asm.op("addq", acc, acc, "t5")
+        # LTP residual: e = s[i] - 3/4 * s[i-4]
+        asm.op("mull", "t6", prev, 3)
+        asm.op("sra", "t6", "t6", 2)
+        asm.op("subq", "t7", cur, "t6")
+        asm.store("stw", "t7", "s1", 2 * lane)
+        asm.mov(prev, cur)                        # slide the lag window
+    asm.op("addq", "s0", "s0", _LINE)
+    asm.op("addq", "s1", "s1", _LINE)
+    loop_end(asm, "quads", "a1")
+    loop_end(asm, "frames", "a0")
+
+    asm.op("addq", "s2", "s2", "s3")              # fold accumulators
+    asm.op("addq", "s4", "s4", "s5")
+    asm.op("addq", "s2", "s2", "s4")
+    asm.li("t0", out)
+    asm.store("stq", "s2", "t0", 0)               # total correlation
+    asm.halt()
+    return asm.assemble()
+
+
+def _decode(scale: int) -> Program:
+    asm = Assembler("gsm-decode")
+    prologue(asm)
+    resid = asm.alloc("residual", _BUF_BYTES)
+    recon = asm.alloc("recon", _BUF_BYTES)
+    out = asm.alloc("out", 16)
+    asm.data_words(resid, audio_samples(_BUF_BYTES // 2, seed=0xDEC0DE),
+                   size=2)
+
+    # Register map: s0 resid ptr  s1 recon ptr  s2 checksum
+    #   a2..a5 previous reconstructed quad (LTP taps)
+    asm.clr("s2")
+    loop_begin(asm, "frames", "a0", 2 * scale)
+    asm.li("s0", resid)
+    asm.li("s1", recon)
+    for reg in ("a2", "a3", "a4", "a5"):
+        asm.clr(reg)
+    loop_begin(asm, "quads", "a1", _BUF_BYTES // _LINE)
+
+    # Two quads (8 samples) per iteration: the eight per-lane LTP
+    # chains are independent, giving the issue stage a wide pool of
+    # narrow operations, like the real decoder's unrolled synthesis.
+    for half, quad in ((0, "t0"), (1, "v0")):
+        asm.load("ldq", quad, "s0", 8 * half)
+        for lane, (cur, prev) in enumerate(
+                zip(("t1", "t2", "t3", "t4"), ("a2", "a3", "a4", "a5"))):
+            _unpack_lane(asm, cur, quad, lane)
+            asm.op("sll", cur, cur, 1)            # inverse APCM gain
+            asm.op("mull", "t5", prev, 3)         # LTP tap: 3/4 * prev
+            asm.op("sra", "t5", "t5", 2)
+            asm.op("addq", "t6", cur, "t5")       # reconstruct
+            asm.store("stw", "t6", "s1", 8 * half + 2 * lane)
+            asm.op("xor", "s2", "s2", "t6")       # checksum
+            asm.mov(prev, "t6")
+    asm.op("addq", "s0", "s0", _LINE)
+    asm.op("addq", "s1", "s1", _LINE)
+    loop_end(asm, "quads", "a1")
+    loop_end(asm, "frames", "a0")
+
+    asm.li("t0", out)
+    asm.store("stq", "s2", "t0", 0)
+    asm.halt()
+    return asm.assemble()
+
+
+register(Workload(
+    name="gsm-encode",
+    suite=MEDIABENCH,
+    description="GSM 06.10-style LTP correlation and residual over "
+                "streaming 16-bit speech (stand-in for gsm-encode)",
+    builder=_encode,
+    warmup=WARMUP_HALF,
+))
+
+register(Workload(
+    name="gsm-decode",
+    suite=MEDIABENCH,
+    description="GSM 06.10-style LTP synthesis from streaming residuals "
+                "(stand-in for MediaBench gsm-decode)",
+    builder=_decode,
+    warmup=WARMUP_HALF,
+))

@@ -1,0 +1,12 @@
+"""SPECint95 stand-in kernels (paper Table 2)."""
+
+from repro.workloads.spec import (  # noqa: F401
+    compress_k,
+    gcc_k,
+    go_k,
+    ijpeg_k,
+    m88ksim_k,
+    perl_k,
+    vortex_k,
+    xlisp_k,
+)

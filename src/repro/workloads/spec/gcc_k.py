@@ -1,0 +1,130 @@
+"""``gcc`` stand-in: IR-node walk with tag dispatch and constant folding.
+
+SPECint95 ``gcc`` (compiling cccp.i) walks tree/RTL nodes, switches on
+node codes, and folds small constants.  The kernel walks a graph of
+synthetic IR nodes — each with an opcode tag, two operand links, and a
+value — dispatching on the tag (a small switch with skewed, moderately
+predictable cases), folding constants (narrow arithmetic), and
+following links (33-bit address calculations).  The mix of moderately
+narrow data and irregular-but-learnable branches matches gcc's middling
+position in the paper's Figures 4 and 10.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Program
+from repro.workloads.common import loop_begin, loop_end, prologue
+from repro.workloads.data import Xorshift64
+from repro.workloads.registry import SPECINT95, Workload, register
+
+# Node: 32 bytes = tag (8) | left index (8) | right index (8) | value (8)
+_NODES = 512
+_NODE_BYTES = 32
+# Skewed tag distribution: mostly PLUS/REG, like real RTL streams.
+_TAGS = (0, 0, 0, 1, 1, 2, 3)   # 0=PLUS 1=REG 2=MULT 3=CONST
+
+
+def _node_image() -> list[int]:
+    rng = Xorshift64(0x6CC00000 + 7)
+    words: list[int] = []
+    for _ in range(_NODES):
+        tag = _TAGS[rng.next_below(len(_TAGS))]
+        left = rng.next_below(_NODES)
+        right = rng.next_below(_NODES)
+        value = rng.next_below(4096)       # small constants, mostly
+        if rng.next_below(8) == 0:
+            value = rng.next64() >> 16     # occasional wide address-like
+        words += [tag, left, right, value]
+    return words
+
+
+def build(scale: int = 1) -> Program:
+    asm = Assembler("gcc")
+    prologue(asm)
+    nodes = asm.alloc("nodes", _NODES * _NODE_BYTES)
+    out = asm.alloc("out", 16)
+    asm.data_words(nodes, _node_image())
+
+    # Register map:
+    #   s0 node base   s1 current index   s2 accumulator   s3 fold count
+    asm.li("s0", nodes)
+    asm.clr("s2")
+    asm.clr("s3")
+    asm.li("s1", 1)
+
+    loop_begin(asm, "walk", "a0", 900 * scale)
+    # addr = base + index*32 (33-bit address calc)
+    asm.op("sll", "t0", "s1", 5)
+    asm.op("addq", "t0", "t0", "s0")
+    asm.load("ldq", "t1", "t0", 0)          # tag
+    asm.load("ldq", "t2", "t0", 8)          # left index
+    asm.load("ldq", "t3", "t0", 16)         # right index
+    asm.load("ldq", "t4", "t0", 24)         # value
+
+    # switch (tag) — skewed dispatch.
+    asm.br("bne", "t1", "not_plus")
+    asm.op("addq", "s2", "s2", "t4")        # PLUS: fold value in
+    asm.op("addq", "s3", "s3", 1)
+    asm.br("br", "advance")
+    asm.label("not_plus")
+    asm.li("t5", 1)
+    asm.op("cmpeq", "t6", "t1", "t5")
+    asm.br("beq", "t6", "not_reg")
+    asm.op("and", "t7", "t4", 31)           # REG: register number (narrow)
+    asm.op("addq", "s2", "s2", "t7")
+    asm.br("br", "advance")
+    asm.label("not_reg")
+    asm.li("t5", 2)
+    asm.op("cmpeq", "t6", "t1", "t5")
+    asm.br("beq", "t6", "is_const")
+    asm.op("mull", "t7", "t4", 3)           # MULT: strength-reducible
+    asm.op("sra", "t7", "t7", 2)
+    asm.op("addq", "s2", "s2", "t7")
+    asm.br("br", "advance")
+    asm.label("is_const")
+    asm.op("xor", "s2", "s2", "t4")         # CONST: mix it in
+
+    asm.label("advance")
+    # Per-node attribute bookkeeping (cost estimates, flag summaries):
+    # independent narrow operations over the fetched fields, like gcc's
+    # rtx attribute recomputation at each node visit.
+    asm.op("and", "a2", "t2", 63)
+    asm.op("and", "a3", "t3", 63)
+    asm.op("addq", "a2", "a2", 7)
+    asm.op("addq", "a3", "a3", 9)
+    asm.op("xor", "a4", "t2", "t3")
+    asm.op("and", "a4", "a4", 255)
+    asm.op("addq", "a5", "a2", "a3")
+    asm.op("addq", "s3", "s3", "a5")
+
+    # Alternate left/right child by the low accumulator bit, and mix in
+    # the walk phase so the visit sequence never settles into a short
+    # cycle the predictor could memorize perfectly.
+    asm.op("and", "t8", "s2", 1)
+    asm.op("cmovne", "t2", "t8", "t3")      # pick right when odd
+    asm.op("and", "t9", "a0", 7)
+    asm.op("xor", "t2", "t2", "t9")
+    asm.li("t10", _NODES - 1)
+    asm.op("and", "t2", "t2", "t10")
+    asm.mov("s1", "t2")
+    asm.br("bne", "s1", "walk_ok")
+    asm.li("s1", 1)                          # restart at node 1 on null
+    asm.label("walk_ok")
+    loop_end(asm, "walk", "a0")
+
+    asm.li("t9", out)
+    asm.store("stq", "s2", "t9", 0)
+    asm.store("stq", "s3", "t9", 8)
+    asm.halt()
+    return asm.assemble()
+
+
+register(Workload(
+    name="gcc",
+    suite=SPECINT95,
+    description="IR-node walk with skewed tag dispatch and constant "
+                "folding (stand-in for SPECint95 gcc, cccp.i)",
+    builder=build,
+    warmup=600,
+))

@@ -1,0 +1,123 @@
+"""``m88ksim`` stand-in: an interpreter for a tiny 16-bit guest ISA.
+
+SPECint95 ``m88ksim`` simulates a Motorola 88100: its hot loop fetches
+16/32-bit guest instructions, extracts bit fields, dispatches on the
+opcode, and operates on an in-memory register file.  The kernel
+interprets a synthetic guest program in exactly that style: 16-bit
+encodings (narrow loads), field extraction with shifts and masks
+(narrow shift/logic), a four-way opcode dispatch, and guest registers
+kept in memory (33-bit addressing).  Dispatch branches are skewed but
+data-dependent — m88ksim's middling predictability.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Program
+from repro.workloads.common import loop_begin, loop_end, prologue
+from repro.workloads.data import Xorshift64
+from repro.workloads.registry import SPECINT95, Workload, register
+
+_GUEST_INSTRS = 384
+_GUEST_REGS = 16
+
+
+def _guest_program() -> list[int]:
+    """Encode guest instructions: op[15:12] rd[11:8] ra[7:4] rb/imm[3:0].
+    Opcode mix skewed toward ADD (0) like real integer code."""
+    rng = Xorshift64(0x88100 + 3)
+    ops = (0, 0, 0, 1, 1, 2, 3)   # 0=ADD 1=ADDI 2=XOR 3=SHL
+    out = []
+    for _ in range(_GUEST_INSTRS):
+        op = ops[rng.next_below(len(ops))]
+        rd = rng.next_below(_GUEST_REGS)
+        ra = rng.next_below(_GUEST_REGS)
+        rb = rng.next_below(_GUEST_REGS)
+        out.append((op << 12) | (rd << 8) | (ra << 4) | rb)
+    return out
+
+
+def build(scale: int = 1) -> Program:
+    asm = Assembler("m88ksim")
+    prologue(asm)
+    code = asm.alloc("guest_code", _GUEST_INSTRS * 2)
+    regs = asm.alloc("guest_regs", _GUEST_REGS * 8)
+    out = asm.alloc("out", 16)
+    asm.data_words(code, _guest_program(), size=2)
+    rng = Xorshift64(0x12345)
+    asm.data_words(regs, [rng.next_below(256) for _ in range(_GUEST_REGS)])
+
+    # Register map:
+    #   s0 guest code base   s1 guest PC (index)   s2 guest regfile base
+    #   s3 retired counter
+    asm.li("s0", code)
+    asm.li("s2", regs)
+    asm.clr("s3")
+
+    loop_begin(asm, "runloop", "a0", 3 * scale)
+    asm.clr("s1")
+    loop_begin(asm, "fde", "a1", _GUEST_INSTRS)
+
+    # Fetch: 16-bit guest encoding (always narrow).
+    asm.op("sll", "t0", "s1", 1)
+    asm.op("addq", "t0", "t0", "s0")
+    asm.load("ldwu", "t1", "t0", 0)
+    # Decode: extract op, rd, ra, rb fields (narrow shifts + masks).
+    asm.op("srl", "t2", "t1", 12)           # op
+    asm.op("srl", "t3", "t1", 8)
+    asm.op("and", "t3", "t3", 15)           # rd
+    asm.op("srl", "t4", "t1", 4)
+    asm.op("and", "t4", "t4", 15)           # ra
+    asm.op("and", "t5", "t1", 15)           # rb / imm
+
+    # Read guest sources from the in-memory register file.
+    asm.op("s8addq", "t6", "t4", "s2")
+    asm.load("ldq", "t7", "t6", 0)          # R[ra]
+    asm.op("s8addq", "t6", "t5", "s2")
+    asm.load("ldq", "t8", "t6", 0)          # R[rb]
+
+    # Execute: dispatch on op.
+    asm.br("bne", "t2", "not_add")
+    asm.op("addq", "t9", "t7", "t8")        # ADD
+    asm.br("br", "wb")
+    asm.label("not_add")
+    asm.li("t10", 1)
+    asm.op("cmpeq", "t11", "t2", "t10")
+    asm.br("beq", "t11", "not_addi")
+    asm.op("addq", "t9", "t7", "t5")        # ADDI (4-bit immediate)
+    asm.br("br", "wb")
+    asm.label("not_addi")
+    asm.li("t10", 2)
+    asm.op("cmpeq", "t11", "t2", "t10")
+    asm.br("beq", "t11", "is_shl")
+    asm.op("xor", "t9", "t7", "t8")         # XOR
+    asm.br("br", "wb")
+    asm.label("is_shl")
+    asm.op("and", "t12", "t5", 7)
+    asm.op("sll", "t9", "t7", "t12")        # SHL by small amount
+
+    asm.label("wb")
+    # Keep guest registers 16-bit, like a 16-bit guest machine.
+    asm.li("at", 0xFFFF)
+    asm.op("and", "t9", "t9", "at")
+    asm.op("s8addq", "t6", "t3", "s2")
+    asm.store("stq", "t9", "t6", 0)         # R[rd] = result
+    asm.op("addq", "s3", "s3", 1)
+    asm.op("addq", "s1", "s1", 1)
+    loop_end(asm, "fde", "a1")
+    loop_end(asm, "runloop", "a0")
+
+    asm.li("t0", out)
+    asm.store("stq", "s3", "t0", 0)
+    asm.halt()
+    return asm.assemble()
+
+
+register(Workload(
+    name="m88ksim",
+    suite=SPECINT95,
+    description="Fetch-decode-execute interpreter over a 16-bit guest "
+                "ISA (stand-in for SPECint95 m88ksim, dhrystone input)",
+    builder=build,
+    warmup=500,
+))

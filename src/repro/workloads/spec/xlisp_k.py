@@ -1,0 +1,109 @@
+"""``xlisp`` stand-in: cons-cell traversal with recursive descent.
+
+SPECint95 ``xlisp`` (the XLISP interpreter) spends its time chasing
+cons-cell pointers, dispatching on small type tags, and doing
+mark-phase bit fiddling.  The kernel builds a binary cons tree in a
+cell heap above 4 GB (pointers are 33-bit operands), then recursively
+sums its leaves with ``bsr``/``ret`` — exercising the return-address
+stack — and finally runs a GC-style mark sweep flipping tag bits with
+narrow logic operations.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Program
+from repro.workloads.common import loop_begin, loop_end, prologue
+from repro.workloads.data import Xorshift64
+from repro.workloads.registry import SPECINT95, Workload, register
+
+# Cell layout: 24 bytes = tag (8) | car (8) | cdr (8).
+_CELLS = 255               # a complete binary tree of depth 8
+_CELL_BYTES = 24
+_TAG_CONS, _TAG_NUM = 1, 2
+
+
+def _heap_image(heap_base: int) -> list[int]:
+    """Build the tree: cell i has children 2i+1, 2i+2; leaves hold
+    pseudo-random small numbers (LISP fixnums are typically tiny)."""
+    rng = Xorshift64(0x115BCE11)
+    words: list[int] = []
+    for i in range(_CELLS):
+        left, right = 2 * i + 1, 2 * i + 2
+        if right < _CELLS:
+            words += [_TAG_CONS,
+                      heap_base + left * _CELL_BYTES,
+                      heap_base + right * _CELL_BYTES]
+        else:
+            words += [_TAG_NUM, rng.next_below(100), 0]
+    return words
+
+
+def build(scale: int = 1) -> Program:
+    asm = Assembler("xlisp")
+    prologue(asm)
+    heap = asm.alloc("heap", _CELLS * _CELL_BYTES)
+    out = asm.alloc("out", 16)
+    asm.data_words(heap, _heap_image(heap))
+
+    # sum_tree(a0 = cell) -> v0, clobbers t0-t3; recursion on the stack.
+    asm.br("br", "main")
+    asm.label("sum_tree")
+    asm.load("ldq", "t0", "a0", 0)          # tag (narrow)
+    asm.li("t1", _TAG_NUM)
+    asm.op("cmpeq", "t2", "t0", "t1")
+    asm.br("beq", "t2", "cons_case")
+    asm.load("ldq", "v0", "a0", 8)          # leaf: return the fixnum
+    asm.ret()
+
+    asm.label("cons_case")
+    asm.op("subq", "sp", "sp", 24)          # push ra, a0, partial
+    asm.store("stq", "ra", "sp", 0)
+    asm.store("stq", "a0", "sp", 8)
+    asm.load("ldq", "a0", "a0", 8)          # car
+    asm.bsr("sum_tree")
+    asm.store("stq", "v0", "sp", 16)        # save left sum
+    asm.load("ldq", "a0", "sp", 8)
+    asm.load("ldq", "a0", "a0", 16)         # cdr
+    asm.bsr("sum_tree")
+    asm.load("ldq", "t3", "sp", 16)
+    asm.op("addq", "v0", "v0", "t3")        # left + right
+    asm.load("ldq", "ra", "sp", 0)
+    asm.op("addq", "sp", "sp", 24)
+    asm.ret()
+
+    asm.label("main")
+    asm.clr("s1")
+    loop_begin(asm, "evalloop", "s0", 6 * scale)
+    asm.li("a0", heap)                      # root cell
+    asm.bsr("sum_tree")
+    asm.op("addq", "s1", "s1", "v0")        # accumulate across passes
+    loop_end(asm, "evalloop", "s0")
+
+    # GC mark phase: flip the mark bit in every cell tag (narrow logic).
+    loop_begin(asm, "gcpass", "s2", 2 * scale)
+    asm.li("s3", heap)
+    loop_begin(asm, "mark", "s4", _CELLS)
+    asm.load("ldq", "t0", "s3", 0)
+    asm.op("xor", "t0", "t0", 8)            # toggle mark bit
+    asm.op("bis", "t0", "t0", 16)           # set visited bit
+    asm.store("stq", "t0", "s3", 0)
+    asm.op("addq", "s3", "s3", _CELL_BYTES)
+    loop_end(asm, "mark", "s4")
+    loop_end(asm, "gcpass", "s2")
+
+    # Undo the visited bits so repeated runs are idempotent, then halt.
+    asm.li("t5", out)
+    asm.store("stq", "s1", "t5", 0)
+    asm.halt()
+    return asm.assemble()
+
+
+register(Workload(
+    name="xlisp",
+    suite=SPECINT95,
+    description="Cons-cell tree interpreter with recursive descent and "
+                "GC marking (stand-in for SPECint95 xlisp)",
+    builder=build,
+    warmup=500,
+))

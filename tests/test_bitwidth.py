@@ -1,0 +1,165 @@
+"""Unit and property tests for narrow-width detection — the paper's
+core mechanism (Sections 4.2-4.3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitwidth.detect import (
+    CUT_ADDRESS,
+    CUT_NARROW,
+    effective_width,
+    is_narrow,
+    ones_detect,
+    operand_pair_width,
+    zero_detect,
+)
+from repro.bitwidth.tags import UNKNOWN_TAG, ZERO_TAG, WidthTag, tag_value
+from repro.isa.semantics import MASK64, to_unsigned
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestZeroOnesDetect:
+    def test_zero_detect_zero48(self):
+        # Figure 3's zero48 signal: upper 48 bits all zero.
+        assert zero_detect(0xFFFF, 16)
+        assert not zero_detect(0x1_0000, 16)
+
+    def test_zero_detect_full_width(self):
+        assert zero_detect(MASK64, 64)
+
+    def test_ones_detect_negative(self):
+        assert ones_detect(to_unsigned(-1), 16)
+        assert ones_detect(to_unsigned(-65536), 16)
+        assert not ones_detect(to_unsigned(-65537), 16)
+
+    def test_ones_detect_positive_fails(self):
+        assert not ones_detect(5, 16)
+
+    @given(u64, st.integers(min_value=1, max_value=64))
+    def test_detects_are_literal_bit_checks(self, v, w):
+        if w < 64:
+            high = v >> w
+            assert zero_detect(v, w) == (high == 0)
+            assert ones_detect(v, w) == (high == (1 << (64 - w)) - 1)
+
+
+class TestEffectiveWidth:
+    def test_paper_example(self):
+        # "when adding 17, a 5-bit number, to 2, a 2-bit number, the
+        # result is 19, a 5-bit number" (Section 2.2).
+        assert effective_width(17) == 5
+        assert effective_width(2) == 2
+        assert effective_width(19) == 5
+
+    def test_zero_and_minus_one(self):
+        assert effective_width(0) == 1
+        assert effective_width(MASK64) == 1      # -1: all leading ones
+
+    def test_boundaries(self):
+        assert effective_width(0xFFFF) == 16
+        assert effective_width(0x1_0000) == 17
+        assert effective_width(to_unsigned(-65536)) == 16
+        assert effective_width(to_unsigned(-65537)) == 17
+
+    def test_address_width(self):
+        # Heap addresses just above 4 GB are 33-bit values — the jump
+        # in Figure 1.
+        assert effective_width(0x1_0000_0000) == 33
+
+    def test_max_width(self):
+        # Under the sign-extension rule the sign bit itself is always
+        # reconstructible, so the maximum effective width is 63: the
+        # most negative quadword sign-extends from 63 bits.
+        assert effective_width(1 << 63) == 63
+        assert effective_width((1 << 63) + 1) == 63
+        assert effective_width(0x7FFF_FFFF_FFFF_FFFF) == 63
+
+    @given(u64)
+    def test_width_in_range(self, v):
+        assert 1 <= effective_width(v) <= 64
+
+    @given(u64)
+    def test_narrow_at_effective_width(self, v):
+        assert is_narrow(v, effective_width(v))
+
+    @given(u64)
+    def test_width_is_minimal(self, v):
+        w = effective_width(v)
+        if w > 1:
+            assert not is_narrow(v, w - 1)
+
+    @given(u64)
+    def test_narrow_is_monotone(self, v):
+        w = effective_width(v)
+        for wider in (w, min(64, w + 1), 64):
+            assert is_narrow(v, wider)
+
+    @given(st.integers(min_value=-32768, max_value=32767))
+    def test_small_signed_values_are_narrow16(self, s):
+        assert is_narrow(to_unsigned(s), CUT_NARROW)
+
+
+class TestPairWidth:
+    def test_pair_is_maximum(self):
+        assert operand_pair_width(17, 2) == 5
+        assert operand_pair_width(2, 17) == 5
+
+    @given(u64, u64)
+    def test_pair_symmetric(self, a, b):
+        assert operand_pair_width(a, b) == operand_pair_width(b, a)
+
+    @given(u64, u64)
+    def test_pair_dominates_both(self, a, b):
+        w = operand_pair_width(a, b)
+        assert is_narrow(a, w) and is_narrow(b, w)
+
+
+class TestTags:
+    def test_tag_value_narrow(self):
+        tag = tag_value(100)
+        assert tag.narrow16 and tag.narrow33
+
+    def test_tag_value_address(self):
+        tag = tag_value(0x1_0000_0000)
+        assert not tag.narrow16 and tag.narrow33
+
+    def test_tag_value_wide(self):
+        tag = tag_value(1 << 40)
+        assert not tag.narrow16 and not tag.narrow33
+
+    def test_tag_negative_narrow(self):
+        # Section 4.3: ones-detect catches narrow negative numbers.
+        tag = tag_value(to_unsigned(-3))
+        assert tag.narrow16 and tag.narrow33
+
+    def test_zero_tag(self):
+        assert tag_value(0) == ZERO_TAG
+
+    def test_unknown_tag_gates_nothing(self):
+        assert UNKNOWN_TAG.gate_width == 64
+
+    def test_gate_width(self):
+        assert WidthTag(True, True).gate_width == CUT_NARROW
+        assert WidthTag(False, True).gate_width == CUT_ADDRESS
+        assert WidthTag(False, False).gate_width == 64
+
+    def test_combine_requires_both(self):
+        narrow = WidthTag(True, True)
+        addr = WidthTag(False, True)
+        wide = WidthTag(False, False)
+        assert narrow.combine(narrow) == narrow
+        assert narrow.combine(addr) == addr
+        assert narrow.combine(wide) == wide
+
+    @given(u64)
+    def test_tag_consistent_with_detect(self, v):
+        tag = tag_value(v)
+        assert tag.narrow16 == is_narrow(v, CUT_NARROW)
+        assert tag.narrow33 == is_narrow(v, CUT_ADDRESS)
+
+    @given(u64)
+    def test_narrow16_implies_narrow33(self, v):
+        tag = tag_value(v)
+        if tag.narrow16:
+            assert tag.narrow33

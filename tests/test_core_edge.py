@@ -1,0 +1,261 @@
+"""Edge-case tests for the core: memory ordering, indirect control,
+fetch stalls, conditional moves, and structural corner cases."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.isa.registers import reg_index
+from repro.memory.hierarchy import HierarchyConfig
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def run(asm: Assembler, config=FAST) -> Machine:
+    machine = Machine(asm.assemble(), config)
+    machine.run()
+    assert machine.done, "program did not finish"
+    return machine
+
+
+class TestMemoryOrdering:
+    def test_load_after_store_same_address(self):
+        """A load must observe the in-flight older store (the LSQ
+        dependence), and timing must still terminate."""
+        asm = Assembler()
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 8)
+        asm.li("s0", buf)
+        asm.li("t0", 111)
+        asm.store("stq", "t0", "s0", 0)
+        asm.load("ldq", "t1", "s0", 0)      # depends on the store above
+        asm.op("addq", "t2", "t1", 1)
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t2")) == 112
+
+    def test_load_issue_waits_for_overlapping_store(self):
+        """The load may not issue before the older overlapping store
+        completes."""
+        asm = Assembler()
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 16)
+        asm.li("s0", buf)
+        asm.li("t0", 7)
+        asm.store("stq", "t0", "s0", 0)
+        asm.load("ldq", "t1", "s0", 0)
+        asm.halt()
+        machine = Machine(asm.assemble(), FAST)
+        store_cycle = load_cycle = None
+        while not machine.done and machine.stats.cycles < 1000:
+            machine._step()
+            for entry in list(machine.ruu.entries):
+                if entry.issued:
+                    if entry.dyn.inst.is_store and store_cycle is None:
+                        store_cycle = entry.issue_cycle
+                    if entry.dyn.inst.is_load and load_cycle is None:
+                        load_cycle = entry.issue_cycle
+        assert store_cycle is not None and load_cycle is not None
+        assert load_cycle > store_cycle
+
+    def test_non_overlapping_accesses_not_ordered(self):
+        """Loads to disjoint addresses don't wait on older stores."""
+        asm = Assembler()
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 64)
+        asm.data_words(buf, [0, 0, 5, 0])
+        asm.li("s0", buf)
+        asm.li("t0", 9)
+        asm.store("stq", "t0", "s0", 0)
+        asm.load("ldq", "t1", "s0", 16)     # disjoint
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t1")) == 5
+
+    def test_byte_store_quad_load_overlap(self):
+        asm = Assembler()
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 8)
+        asm.data_words(buf, [0x1111111111111111])
+        asm.li("s0", buf)
+        asm.li("t0", 0xFF)
+        asm.store("stb", "t0", "s0", 3)
+        asm.load("ldq", "t1", "s0", 0)
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t1")) == 0x11111111FF111111
+
+
+class TestIndirectControl:
+    def test_jmp_through_register(self):
+        def build(landing_pc):
+            asm = Assembler()
+            standard_prologue(asm)
+            asm.br("br", "setup")
+            asm.label("landing")
+            landing_index = asm.here()
+            asm.li("v0", 42)
+            asm.halt()
+            asm.label("setup")
+            asm.li("t0", landing_pc)
+            asm.jmp("t0")
+            return asm, landing_index
+
+        # Two-phase build: the landing pad sits *before* the setup code,
+        # so its index is independent of the li expansion length.
+        probe, landing_index = build(0)
+        landing_pc = probe.assemble().pc_of(landing_index)
+        asm, _ = build(landing_pc)
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("v0")) == 42
+
+    def test_nested_calls_via_ras(self):
+        asm = Assembler()
+        standard_prologue(asm)
+        asm.br("br", "main")
+        asm.label("inner")
+        asm.op("addq", "v0", "v0", 1)
+        asm.ret()
+        asm.label("outer")
+        asm.op("subq", "sp", "sp", 8)
+        asm.store("stq", "ra", "sp", 0)
+        asm.bsr("inner")
+        asm.bsr("inner")
+        asm.load("ldq", "ra", "sp", 0)
+        asm.op("addq", "sp", "sp", 8)
+        asm.ret()
+        asm.label("main")
+        asm.clr("v0")
+        asm.bsr("outer")
+        asm.bsr("outer")
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("v0")) == 4
+
+    def test_recursion_deeper_than_ras(self):
+        """48 nested calls overflow the 32-entry RAS; the machine must
+        still compute correctly (just slower)."""
+        asm = Assembler()
+        standard_prologue(asm)
+        asm.br("br", "main")
+        asm.label("countdown")
+        asm.br("bne", "a0", "recurse")
+        asm.ret()
+        asm.label("recurse")
+        asm.op("subq", "sp", "sp", 8)
+        asm.store("stq", "ra", "sp", 0)
+        asm.op("subq", "a0", "a0", 1)
+        asm.op("addq", "v0", "v0", 1)
+        asm.bsr("countdown")
+        asm.load("ldq", "ra", "sp", 0)
+        asm.op("addq", "sp", "sp", 8)
+        asm.ret()
+        asm.label("main")
+        asm.clr("v0")
+        asm.li("a0", 48)
+        asm.bsr("countdown")
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("v0")) == 48
+
+
+class TestConditionalMoves:
+    def test_cmov_reads_old_destination(self):
+        asm = Assembler()
+        asm.li("t0", 5)        # dest's prior value
+        asm.li("t1", 1)        # condition (nonzero)
+        asm.li("t2", 9)
+        asm.op("cmoveq", "t0", "t1", "t2")   # t1 != 0: keep t0
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t0")) == 5
+
+    def test_cmov_dependence_on_destination(self):
+        """CMOV must wait for the previous destination value — it is a
+        true source (tested through the timing machine)."""
+        asm = Assembler()
+        asm.li("t0", 5)
+        asm.li("t1", 0)
+        asm.li("t2", 9)
+        asm.op("addq", "t0", "t0", 1)          # redefine dest late
+        asm.op("cmovne", "t0", "t1", "t2")     # t1 == 0: keep new t0 (6)
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t0")) == 6
+
+
+class TestFetchEffects:
+    def test_icache_misses_slow_fetch(self):
+        body = Assembler()
+        for _ in range(400):
+            body.nop()
+        body.halt()
+        program = body.assemble()
+        cold = Machine(program, BASELINE)
+        cold_result = cold.run()
+        warm = Machine(program, BASELINE)
+        warm.fast_forward(401)                 # touch all I-cache lines
+        # Re-run the same program image on a fresh feed but warm caches.
+        warm2 = Machine(program, BASELINE)
+        warm2.hierarchy = warm.hierarchy
+        warm_result = warm2.run()
+        assert warm_result.stats.cycles < cold_result.stats.cycles
+
+    def test_wide_fetch_config(self):
+        wide = BASELINE.with_decode_width(8)
+        assert wide.fetch_width == 8
+        assert wide.decode_width == 8
+        assert wide.fetch_queue_size >= 8
+
+    def test_issue_width_config(self):
+        wide = BASELINE.with_issue_width(8, 8)
+        assert wide.issue_width == 8 and wide.int_alus == 8
+        # everything else untouched
+        assert wide.decode_width == BASELINE.decode_width
+
+
+class TestMultiplier:
+    def test_single_mult_unit_serializes(self):
+        def build(op):
+            asm = Assembler()
+            for r in ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"):
+                asm.li(r, 3)
+            for _ in range(50):
+                for r in ("t0", "t1", "t2", "t3"):
+                    asm.op(op, r, r, 1) if op == "addq" else \
+                        asm.op(op, r, r, 3)
+            asm.halt()
+            return asm.assemble()
+
+        adds = Machine(build("addq"), FAST).run()
+        mults = Machine(build("mulq"), FAST).run()
+        # One mult/div unit and 3-cycle latency vs four 1-cycle ALUs.
+        assert mults.stats.cycles > adds.stats.cycles
+
+    def test_mult_latency_respected(self):
+        asm = Assembler()
+        asm.li("t0", 7)
+        asm.op("mulq", "t1", "t0", "t0")
+        asm.op("addq", "t2", "t1", 1)       # dependent on the multiply
+        asm.halt()
+        machine = run(asm)
+        assert machine.feed.reg(reg_index("t2")) == 50
+
+
+class TestSafetyNets:
+    def test_max_cycles_guard(self):
+        asm = Assembler()
+        asm.label("forever")
+        asm.br("br", "forever")
+        config = replace(FAST, max_cycles=200)
+        machine = Machine(asm.assemble(), config)
+        result = machine.run()
+        assert not machine.done
+        assert result.stats.cycles <= 200
+
+    def test_empty_program_halts_immediately(self):
+        asm = Assembler()
+        asm.halt()
+        machine = run(asm)
+        assert machine.stats.committed == 1

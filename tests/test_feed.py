@@ -1,0 +1,252 @@
+"""Unit tests for the functional feed: in-order execution, speculation,
+recovery, and width tagging."""
+
+from repro.asm.assembler import Assembler
+from repro.core.config import BASELINE
+from repro.core.feed import Feed
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import reg_index
+
+COMBINING = BASELINE
+PERFECT = BASELINE.with_predictor("perfect")
+
+
+def make_feed(asm: Assembler, config=COMBINING) -> Feed:
+    return Feed(asm.assemble(), config)
+
+
+def drain(feed: Feed, limit: int = 100000) -> list:
+    out = []
+    for _ in range(limit):
+        dyn = feed.next()
+        if dyn is None:
+            break
+        out.append(dyn)
+    return out
+
+
+class TestStraightLine:
+    def test_halts(self):
+        asm = Assembler()
+        asm.nop()
+        asm.halt()
+        feed = make_feed(asm)
+        dyns = drain(feed)
+        assert [d.inst.opcode for d in dyns] == [Opcode.NOP, Opcode.HALT]
+        assert feed.halted
+        assert feed.next() is None
+
+    def test_arithmetic_results(self):
+        asm = Assembler()
+        asm.li("t0", 17)
+        asm.li("t1", 2)
+        asm.op("addq", "t2", "t0", "t1")
+        asm.halt()
+        feed = make_feed(asm)
+        drain(feed)
+        assert feed.reg(reg_index("t2")) == 19
+
+    def test_sequence_numbers_monotonic(self):
+        asm = Assembler()
+        for _ in range(5):
+            asm.nop()
+        asm.halt()
+        dyns = drain(make_feed(asm))
+        seqs = [d.seq for d in dyns]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_operand_tags_for_narrow_add(self):
+        asm = Assembler()
+        asm.li("t0", 17)
+        asm.op("addq", "t1", "t0", 2)
+        asm.halt()
+        dyns = drain(make_feed(asm))
+        add = next(d for d in dyns if d.inst.opcode is Opcode.ADDQ)
+        assert add.a_val == 17 and add.b_val == 2
+        assert add.pair_narrow16
+
+    def test_memory_operand_pair_is_address_calc(self):
+        # Figure 1 counts address calculations: base + displacement.
+        asm = Assembler()
+        buf = asm.alloc("buf", 64)
+        asm.li("s0", buf)
+        asm.load("ldq", "t0", "s0", 8)
+        asm.halt()
+        dyns = drain(make_feed(asm))
+        load = next(d for d in dyns if d.inst.opcode is Opcode.LDQ)
+        assert load.a_val == buf
+        assert load.b_val == 8
+        assert load.mem_addr == buf + 8
+        assert not load.tag_a.narrow16       # 33-bit base address
+        assert load.tag_a.narrow33
+
+
+class TestMemoryExecution:
+    def test_store_load_roundtrip(self):
+        asm = Assembler()
+        buf = asm.alloc("buf", 16)
+        asm.li("s0", buf)
+        asm.li("t0", 1234)
+        asm.store("stq", "t0", "s0", 0)
+        asm.load("ldq", "t1", "s0", 0)
+        asm.halt()
+        feed = make_feed(asm)
+        drain(feed)
+        assert feed.reg(reg_index("t1")) == 1234
+
+    def test_ldl_sign_extends(self):
+        asm = Assembler()
+        buf = asm.alloc("buf", 8)
+        asm.data_words(buf, [0xFFFFFFFF], size=4)
+        asm.li("s0", buf)
+        asm.load("ldl", "t0", "s0", 0)
+        asm.halt()
+        feed = make_feed(asm)
+        drain(feed)
+        assert feed.reg(reg_index("t0")) == 0xFFFF_FFFF_FFFF_FFFF
+
+    def test_load_provenance_tracked(self):
+        asm = Assembler()
+        buf = asm.alloc("buf", 8)
+        asm.data_words(buf, [7])
+        asm.li("s0", buf)
+        asm.load("ldq", "t0", "s0", 0)
+        asm.op("addq", "t1", "t0", 1)     # consumes a load result
+        asm.halt()
+        dyns = drain(make_feed(asm))
+        add = next(d for d in dyns if d.inst.opcode is Opcode.ADDQ
+                   and d.inst.rd == reg_index("t1"))
+        assert add.operand_from_load
+
+    def test_detect_loads_off_yields_unknown_tags(self):
+        from dataclasses import replace
+        config = BASELINE.with_gating(replace(BASELINE.gating,
+                                              detect_loads=False))
+        asm = Assembler()
+        buf = asm.alloc("buf", 8)
+        asm.data_words(buf, [3])          # a narrow value...
+        asm.li("s0", buf)
+        asm.load("ldq", "t0", "s0", 0)
+        asm.op("addq", "t1", "t0", 1)
+        asm.halt()
+        dyns = drain(make_feed(asm, config))
+        add = next(d for d in dyns if d.inst.opcode is Opcode.ADDQ
+                   and d.inst.rd == reg_index("t1"))
+        # ...but without cache-side zero detect the hardware can't know.
+        assert not add.tag_a.narrow16
+
+
+class TestControlFlow:
+    def loop_program(self):
+        asm = Assembler()
+        asm.li("s0", 3)
+        asm.clr("s1")
+        asm.label("loop")
+        asm.op("addq", "s1", "s1", 2)
+        asm.op("subq", "s0", "s0", 1)
+        asm.br("bne", "s0", "loop")
+        asm.halt()
+        return asm
+
+    def test_loop_executes_correctly(self):
+        feed = make_feed(self.loop_program(), PERFECT)
+        drain(feed)
+        assert feed.reg(reg_index("s1")) == 6
+
+    def test_perfect_prediction_never_speculates(self):
+        feed = make_feed(self.loop_program(), PERFECT)
+        dyns = drain(feed)
+        assert all(not d.spec and not d.mispredicted for d in dyns)
+
+    def test_realistic_prediction_flags_mispredicts(self):
+        feed = make_feed(self.loop_program(), COMBINING)
+        mispredicted = []
+        for _ in range(1000):
+            dyn = feed.next()
+            if dyn is None:
+                break
+            if dyn.mispredicted:
+                mispredicted.append(dyn)
+                feed.recover()     # resolve immediately
+        assert feed.halted
+        assert feed.reg(reg_index("s1")) == 6    # state still correct
+        assert mispredicted                       # cold predictor misses
+
+    def test_wrong_path_instructions_marked_spec(self):
+        asm = Assembler()
+        asm.clr("t0")
+        asm.br("bne", "t0", "skip")    # never taken; cold BTB may say taken
+        asm.op("addq", "t1", "t1", 1)
+        asm.label("skip")
+        asm.op("addq", "t2", "t2", 1)
+        asm.halt()
+        feed = make_feed(asm, COMBINING)
+        saw_spec = False
+        for _ in range(100):
+            dyn = feed.next()
+            if dyn is None:
+                if feed.spec_mode:
+                    feed.recover()
+                    continue
+                break
+            if dyn.spec:
+                saw_spec = True
+        # Whether speculation happened depends on the cold predictor,
+        # but the architected result must be correct either way.
+        assert feed.reg(reg_index("t2")) == 1
+        assert feed.reg(reg_index("t1")) in (0, 1) if saw_spec else True
+
+    def test_recovery_restores_registers_and_memory(self):
+        asm = Assembler()
+        buf = asm.alloc("buf", 8)
+        asm.li("s0", buf)
+        asm.li("t0", 1)                 # t0 = 1 -> branch taken
+        asm.br("bne", "t0", "target")
+        # wrong path (fall-through): clobbers register and memory
+        asm.li("t1", 99)
+        asm.store("stq", "t1", "s0", 0)
+        asm.halt()
+        asm.label("target")
+        asm.load("ldq", "t2", "s0", 0)
+        asm.halt()
+        feed = make_feed(asm, COMBINING)
+        while True:
+            dyn = feed.next()
+            if dyn is None:
+                if feed.spec_mode:
+                    feed.recover()
+                    continue
+                break
+            if dyn.mispredicted:
+                # run a few wrong-path instructions before recovering
+                for _ in range(4):
+                    feed.next()
+                feed.recover()
+        assert feed.halted
+        assert feed.reg(reg_index("t1")) == 0     # wrong-path write undone
+        assert feed.reg(reg_index("t2")) == 0     # memory store undone
+
+    def test_subroutine_call_and_return(self):
+        asm = Assembler()
+        asm.br("br", "main")
+        asm.label("double")
+        asm.op("addq", "v0", "a0", "a0")
+        asm.ret()
+        asm.label("main")
+        asm.li("a0", 21)
+        asm.bsr("double")
+        asm.halt()
+        feed = make_feed(asm, COMBINING)
+        dyns = drain(feed)
+        assert feed.reg(reg_index("v0")) == 42
+        ret = next(d for d in dyns if d.inst.opcode is Opcode.RET)
+        # RAS predicted the return target: no misprediction.
+        assert not ret.mispredicted
+
+    def test_fast_mode_never_speculates(self):
+        feed = make_feed(self.loop_program(), COMBINING)
+        feed.fast_mode = True
+        dyns = drain(feed)
+        assert all(not d.spec for d in dyns)
+        assert feed.reg(reg_index("s1")) == 6

@@ -1,0 +1,93 @@
+"""Unit tests for opcode classification."""
+
+from repro.isa.opcodes import (
+    ALU_CLASSES,
+    CALL_OPS,
+    CONDITIONAL_BRANCHES,
+    MEM_SIZE,
+    OP_CLASS,
+    PACKABLE_CLASSES,
+    Opcode,
+    OpClass,
+    is_control,
+    op_class,
+)
+
+
+class TestClassification:
+    def test_every_opcode_classified(self):
+        for op in Opcode:
+            assert op in OP_CLASS
+
+    def test_arith_examples(self):
+        for op in (Opcode.ADDQ, Opcode.SUBQ, Opcode.CMPLT, Opcode.LDA,
+                   Opcode.S8ADDQ):
+            assert op_class(op) is OpClass.INT_ARITH
+
+    def test_mult(self):
+        assert op_class(Opcode.MULQ) is OpClass.INT_MULT
+        assert op_class(Opcode.MULL) is OpClass.INT_MULT
+
+    def test_logic_examples(self):
+        for op in (Opcode.AND, Opcode.BIS, Opcode.XOR, Opcode.CMOVEQ,
+                   Opcode.ZAPNOT):
+            assert op_class(op) is OpClass.INT_LOGIC
+
+    def test_shift_examples(self):
+        for op in (Opcode.SLL, Opcode.SRA, Opcode.EXTBL, Opcode.EXTWL):
+            assert op_class(op) is OpClass.INT_SHIFT
+
+    def test_memory_classes(self):
+        assert op_class(Opcode.LDQ) is OpClass.LOAD
+        assert op_class(Opcode.STB) is OpClass.STORE
+
+    def test_control_classes(self):
+        assert op_class(Opcode.BEQ) is OpClass.BRANCH
+        assert op_class(Opcode.BR) is OpClass.BRANCH
+        assert op_class(Opcode.RET) is OpClass.JUMP
+
+    def test_nop_halt(self):
+        assert op_class(Opcode.NOP) is OpClass.NOP
+        assert op_class(Opcode.HALT) is OpClass.HALT
+
+
+class TestGroups:
+    def test_alu_classes_cover_integer_work(self):
+        assert OpClass.INT_ARITH in ALU_CLASSES
+        assert OpClass.LOAD in ALU_CLASSES        # address calculation
+        assert OpClass.BRANCH in ALU_CLASSES      # condition evaluation
+        assert OpClass.NOP not in ALU_CLASSES
+
+    def test_packable_excludes_multiplies(self):
+        # Section 5.1: "we do not attempt to pack multiply operations".
+        assert OpClass.INT_MULT not in PACKABLE_CLASSES
+        assert OpClass.INT_ARITH in PACKABLE_CLASSES
+        assert OpClass.INT_LOGIC in PACKABLE_CLASSES
+        assert OpClass.INT_SHIFT in PACKABLE_CLASSES
+
+    def test_packable_excludes_memory_and_control(self):
+        assert OpClass.LOAD not in PACKABLE_CLASSES
+        assert OpClass.BRANCH not in PACKABLE_CLASSES
+
+    def test_mem_sizes(self):
+        assert MEM_SIZE[Opcode.LDQ] == 8
+        assert MEM_SIZE[Opcode.LDL] == 4
+        assert MEM_SIZE[Opcode.LDWU] == 2
+        assert MEM_SIZE[Opcode.LDBU] == 1
+        assert MEM_SIZE[Opcode.STQ] == 8
+        assert MEM_SIZE[Opcode.STB] == 1
+
+    def test_conditional_branches(self):
+        assert Opcode.BEQ in CONDITIONAL_BRANCHES
+        assert Opcode.BLBS in CONDITIONAL_BRANCHES
+        assert Opcode.BR not in CONDITIONAL_BRANCHES
+        assert Opcode.JMP not in CONDITIONAL_BRANCHES
+
+    def test_call_ops(self):
+        assert CALL_OPS == frozenset({Opcode.BSR, Opcode.JSR})
+
+    def test_is_control(self):
+        assert is_control(Opcode.BEQ)
+        assert is_control(Opcode.RET)
+        assert not is_control(Opcode.ADDQ)
+        assert not is_control(Opcode.LDQ)

@@ -1,0 +1,96 @@
+"""Unit tests for the architected register file."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    REG_INDEX,
+    REG_NAMES,
+    ZERO_REG,
+    RegisterFile,
+    reg_index,
+)
+
+
+class TestRegisterNames:
+    def test_thirty_two_registers(self):
+        assert NUM_INT_REGS == 32
+        assert len(REG_NAMES) == 32
+
+    def test_zero_register_is_r31(self):
+        assert ZERO_REG == 31
+        assert REG_NAMES[31] == "zero"
+
+    def test_names_are_unique(self):
+        assert len(set(REG_NAMES)) == 32
+
+    def test_alpha_conventions(self):
+        assert reg_index("v0") == 0
+        assert reg_index("ra") == 26
+        assert reg_index("gp") == 29
+        assert reg_index("sp") == 30
+        assert reg_index("fp") == 15
+
+    def test_raw_spelling(self):
+        for i in range(32):
+            assert reg_index(f"r{i}") == i
+
+    def test_integer_passthrough(self):
+        assert reg_index(7) == 7
+
+    def test_integer_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_index(32)
+        with pytest.raises(ValueError):
+            reg_index(-1)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            reg_index("r99")
+
+    def test_case_insensitive(self):
+        assert reg_index("SP") == 30
+
+    def test_index_map_consistent(self):
+        for name, idx in REG_INDEX.items():
+            assert reg_index(name) == idx
+
+
+class TestRegisterFile:
+    def test_initially_zero(self):
+        regs = RegisterFile()
+        for i in range(32):
+            assert regs.read(i) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(3, 0xDEADBEEF)
+        assert regs.read(3) == 0xDEADBEEF
+
+    def test_zero_register_reads_zero(self):
+        regs = RegisterFile()
+        regs.write(ZERO_REG, 12345)
+        assert regs.read(ZERO_REG) == 0
+
+    def test_values_truncated_to_64_bits(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 64)
+        assert regs.read(1) == 0
+        regs.write(1, (1 << 64) + 7)
+        assert regs.read(1) == 7
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs.write(2, 42)
+        snap = regs.snapshot()
+        regs.write(2, 99)
+        regs.write(4, 17)
+        regs.restore(snap)
+        assert regs.read(2) == 42
+        assert regs.read(4) == 0
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs.write(0, 5)
+        assert snap[0] == 0

@@ -1,0 +1,220 @@
+"""Unit and property tests for the functional semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    MASK64,
+    branch_taken,
+    compute,
+    mask64,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestConversions:
+    def test_mask64(self):
+        assert mask64(1 << 64) == 0
+        assert mask64(-1) == MASK64
+
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+        assert to_signed(2**63 - 1) == 2**63 - 1
+
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(2**63) == -(2**63)
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == MASK64
+        assert to_unsigned(-2**63) == 2**63
+
+    @given(u64)
+    def test_signed_roundtrip(self, v):
+        assert to_unsigned(to_signed(v)) == v
+
+    def test_sext(self):
+        assert sext(0xFF, 8) == MASK64           # -1 as a byte
+        assert sext(0x7F, 8) == 0x7F
+        assert sext(0x8000, 16) == to_unsigned(-32768)
+        assert sext(0xFFFF_FFFF, 32) == MASK64
+
+
+class TestArithmetic:
+    def test_addq(self):
+        assert compute(Opcode.ADDQ, 17, 2) == 19
+
+    def test_addq_wraps(self):
+        assert compute(Opcode.ADDQ, MASK64, 1) == 0
+
+    def test_subq(self):
+        assert compute(Opcode.SUBQ, 2, 3) == to_unsigned(-1)
+
+    def test_addl_sign_extends(self):
+        # 32-bit add whose result has bit 31 set sign-extends.
+        assert compute(Opcode.ADDL, 0x7FFF_FFFF, 1) == to_unsigned(-2**31)
+
+    def test_subl(self):
+        assert compute(Opcode.SUBL, 0, 1) == MASK64
+
+    def test_scaled_adds(self):
+        assert compute(Opcode.S4ADDQ, 3, 100) == 112
+        assert compute(Opcode.S8ADDQ, 3, 100) == 124
+
+    def test_lda_is_add(self):
+        assert compute(Opcode.LDA, 1000, to_unsigned(-8)) == 992
+
+    def test_ldah_shifts_displacement(self):
+        assert compute(Opcode.LDAH, 0, 1) == 65536
+        assert compute(Opcode.LDAH, 4, 2) == 0x20004
+
+    def test_compares_signed(self):
+        minus_one = to_unsigned(-1)
+        assert compute(Opcode.CMPLT, minus_one, 0) == 1
+        assert compute(Opcode.CMPLT, 0, minus_one) == 0
+        assert compute(Opcode.CMPLE, 5, 5) == 1
+        assert compute(Opcode.CMPEQ, 5, 5) == 1
+        assert compute(Opcode.CMPEQ, 5, 6) == 0
+
+    def test_compares_unsigned(self):
+        minus_one = to_unsigned(-1)
+        assert compute(Opcode.CMPULT, minus_one, 0) == 0   # huge unsigned
+        assert compute(Opcode.CMPULT, 0, minus_one) == 1
+        assert compute(Opcode.CMPULE, 7, 7) == 1
+
+    @given(u64, u64)
+    def test_addq_matches_modular_arithmetic(self, a, b):
+        assert compute(Opcode.ADDQ, a, b) == (a + b) % 2**64
+
+    @given(u64, u64)
+    def test_subq_matches_modular_arithmetic(self, a, b):
+        assert compute(Opcode.SUBQ, a, b) == (a - b) % 2**64
+
+    @given(u64, u64)
+    def test_add_sub_inverse(self, a, b):
+        assert compute(Opcode.SUBQ, compute(Opcode.ADDQ, a, b), b) == a
+
+
+class TestMultiply:
+    def test_mulq(self):
+        assert compute(Opcode.MULQ, 7, 6) == 42
+
+    def test_mulq_low_bits(self):
+        assert compute(Opcode.MULQ, 2**40, 2**40) == (2**80) % 2**64
+
+    def test_mull_sign_extends(self):
+        assert compute(Opcode.MULL, 0x10000, 0x8000) == to_unsigned(-2**31)
+
+    @given(u64, u64)
+    def test_mulq_matches_modular(self, a, b):
+        assert compute(Opcode.MULQ, a, b) == (a * b) % 2**64
+
+
+class TestLogic:
+    def test_basic_logic(self):
+        assert compute(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert compute(Opcode.BIS, 0b1100, 0b1010) == 0b1110
+        assert compute(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_negated_forms(self):
+        assert compute(Opcode.BIC, 0b1111, 0b0101) == 0b1010
+        assert compute(Opcode.ORNOT, 0, 0) == MASK64
+        assert compute(Opcode.EQV, 5, 5) == MASK64
+
+    def test_cmov(self):
+        assert compute(Opcode.CMOVEQ, 0, 7, old_dest=3) == 7
+        assert compute(Opcode.CMOVEQ, 1, 7, old_dest=3) == 3
+        assert compute(Opcode.CMOVNE, 1, 7, old_dest=3) == 7
+        assert compute(Opcode.CMOVNE, 0, 7, old_dest=3) == 3
+
+    def test_zapnot(self):
+        value = 0x1122334455667788
+        assert compute(Opcode.ZAPNOT, value, 0x01) == 0x88
+        assert compute(Opcode.ZAPNOT, value, 0x03) == 0x7788
+        assert compute(Opcode.ZAPNOT, value, 0xFF) == value
+
+    @given(u64, u64)
+    def test_demorgan(self, a, b):
+        land = compute(Opcode.AND, a, b)
+        lor_not = compute(Opcode.ORNOT, a ^ MASK64, b)
+        assert land ^ MASK64 == lor_not
+
+
+class TestShifts:
+    def test_sll(self):
+        assert compute(Opcode.SLL, 1, 4) == 16
+
+    def test_sll_uses_low_six_bits(self):
+        assert compute(Opcode.SLL, 1, 64) == 1     # shift count mod 64
+
+    def test_srl_logical(self):
+        assert compute(Opcode.SRL, MASK64, 60) == 0xF
+
+    def test_sra_arithmetic(self):
+        assert compute(Opcode.SRA, to_unsigned(-16), 2) == to_unsigned(-4)
+        assert compute(Opcode.SRA, 16, 2) == 4
+
+    def test_extbl(self):
+        value = 0x1122334455667788
+        assert compute(Opcode.EXTBL, value, 0) == 0x88
+        assert compute(Opcode.EXTBL, value, 7) == 0x11
+
+    def test_extwl(self):
+        value = 0x1122334455667788
+        assert compute(Opcode.EXTWL, value, 0) == 0x7788
+        assert compute(Opcode.EXTWL, value, 2) == 0x5566
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_srl_then_sll_clears_low_bits(self, v, n):
+        down_up = compute(Opcode.SLL, compute(Opcode.SRL, v, n), n)
+        assert down_up == (v >> n) << n & MASK64
+
+
+class TestBranches:
+    def test_zero_conditions(self):
+        assert branch_taken(Opcode.BEQ, 0)
+        assert not branch_taken(Opcode.BEQ, 1)
+        assert branch_taken(Opcode.BNE, 1)
+        assert not branch_taken(Opcode.BNE, 0)
+
+    def test_sign_conditions(self):
+        minus = to_unsigned(-5)
+        assert branch_taken(Opcode.BLT, minus)
+        assert not branch_taken(Opcode.BLT, 0)
+        assert branch_taken(Opcode.BLE, 0)
+        assert branch_taken(Opcode.BGT, 5)
+        assert not branch_taken(Opcode.BGT, minus)
+        assert branch_taken(Opcode.BGE, 0)
+
+    def test_low_bit_conditions(self):
+        assert branch_taken(Opcode.BLBS, 3)
+        assert branch_taken(Opcode.BLBC, 2)
+        assert not branch_taken(Opcode.BLBS, 2)
+
+    @given(u64)
+    def test_blt_bge_partition(self, v):
+        assert branch_taken(Opcode.BLT, v) != branch_taken(Opcode.BGE, v)
+
+    @given(u64)
+    def test_beq_bne_partition(self, v):
+        assert branch_taken(Opcode.BEQ, v) != branch_taken(Opcode.BNE, v)
+
+
+class TestErrors:
+    def test_compute_rejects_control(self):
+        with pytest.raises(ValueError):
+            compute(Opcode.BEQ, 0, 0)
+
+    def test_compute_rejects_memory(self):
+        with pytest.raises(ValueError):
+            compute(Opcode.LDQ, 0, 0)
+
+    def test_branch_taken_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADDQ, 0)

@@ -1,0 +1,243 @@
+"""Integration tests for the out-of-order timing machine."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.isa.registers import reg_index
+from repro.memory.hierarchy import HierarchyConfig
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def sum_loop(n: int) -> Assembler:
+    asm = Assembler("sum")
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.clr("s1")
+    asm.label("loop")
+    asm.op("addq", "s1", "s1", "s0")
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+class TestEndToEnd:
+    def test_computes_correct_result(self):
+        machine = Machine(sum_loop(100).assemble(), BASELINE)
+        machine.run()
+        assert machine.feed.reg(reg_index("s1")) == 5050
+
+    def test_halts_and_reports(self):
+        machine = Machine(sum_loop(10).assemble(), BASELINE)
+        result = machine.run()
+        assert machine.done
+        assert result.stats.cycles > 0
+        assert 0 < result.ipc <= BASELINE.commit_width
+
+    def test_committed_counts_whole_program(self):
+        machine = Machine(sum_loop(50).assemble(), BASELINE)
+        result = machine.run()
+        # prologue(2 for li sp) + li + clr + 50*3 loop + halt, plus the
+        # li expansion; committed must equal the functional length.
+        from repro.core.feed import Feed
+        feed = Feed(sum_loop(50).assemble(), BASELINE)
+        feed.fast_mode = True
+        count = 0
+        while feed.next() is not None:
+            count += 1
+        assert result.stats.committed == count
+
+    def test_max_insts_window(self):
+        machine = Machine(sum_loop(10000).assemble(), FAST)
+        result = machine.run(max_insts=500)
+        assert not machine.done
+        assert 500 <= result.stats.committed < 520   # one extra cycle max
+
+    def test_deterministic(self):
+        r1 = Machine(sum_loop(200).assemble(), BASELINE).run()
+        r2 = Machine(sum_loop(200).assemble(), BASELINE).run()
+        assert r1.stats.cycles == r2.stats.cycles
+        assert r1.stats.committed == r2.stats.committed
+
+
+class TestTimingSanity:
+    def test_dependent_chain_one_per_cycle(self):
+        # A pure dependence chain commits ~1 instruction per cycle.
+        asm = Assembler("chain")
+        asm.clr("t0")
+        for _ in range(200):
+            asm.op("addq", "t0", "t0", 1)
+        asm.halt()
+        result = Machine(asm.assemble(), FAST).run()
+        assert result.stats.cycles >= 200
+
+    def test_independent_ops_reach_high_ipc(self):
+        asm = Assembler("par")
+        regs = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"]
+        for r in regs:
+            asm.clr(r)
+        for _ in range(100):
+            for r in regs:
+                asm.op("addq", r, r, 1)
+        asm.halt()
+        result = Machine(asm.assemble(), FAST).run()
+        assert result.ipc > 3.0
+
+    def test_mispredict_penalty_costs_cycles(self):
+        # Data-dependent unpredictable branches vs none.
+        def branchy(taken_bits):
+            asm = Assembler("branchy")
+            buf = asm.alloc("bits", len(taken_bits))
+            asm.data_bytes(buf, bytes(taken_bits))
+            asm.li("s0", buf)
+            asm.li("s1", len(taken_bits))
+            asm.clr("s2")
+            asm.label("loop")
+            asm.load("ldbu", "t0", "s0", 0)
+            asm.br("beq", "t0", "skip")
+            asm.op("addq", "s2", "s2", 1)
+            asm.label("skip")
+            asm.op("addq", "s0", "s0", 1)
+            asm.op("subq", "s1", "s1", 1)
+            asm.br("bne", "s1", "loop")
+            asm.halt()
+            return asm.assemble()
+
+        from repro.workloads.data import Xorshift64
+        rng = Xorshift64(11)
+        random_bits = [rng.next_below(2) for _ in range(400)]
+        steady_bits = [1] * 400
+        random_run = Machine(branchy(random_bits), FAST).run()
+        steady_run = Machine(branchy(steady_bits), FAST).run()
+        assert random_run.stats.mispredicts > steady_run.stats.mispredicts
+        assert random_run.stats.cycles > steady_run.stats.cycles
+
+    def test_cache_misses_cost_cycles(self):
+        def walker(stride):
+            asm = Assembler("walk")
+            buf = asm.alloc("buf", 64 * 1024 * 4)
+            asm.li("s0", buf)
+            asm.li("s1", 500)
+            asm.clr("s2")
+            asm.label("loop")
+            asm.load("ldq", "t0", "s0", 0)
+            asm.op("addq", "s2", "s2", "t0")
+            asm.op("addq", "s0", "s0", stride)
+            asm.op("subq", "s1", "s1", 1)
+            asm.br("bne", "s1", "loop")
+            asm.halt()
+            return asm.assemble()
+
+        hits = Machine(walker(0), BASELINE).run()      # same line always
+        misses = Machine(walker(64), BASELINE).run()   # new line each time
+        assert misses.stats.cycles > hits.stats.cycles * 2
+
+    def test_perfect_vs_realistic_prediction(self):
+        program = sum_loop(300).assemble()
+        realistic = Machine(program, FAST).run()
+        perfect = Machine(program, FAST.with_predictor("perfect")).run()
+        assert perfect.stats.mispredicts == 0
+        assert perfect.stats.cycles <= realistic.stats.cycles
+
+
+class TestSpeculativeExecution:
+    def test_wrong_path_work_is_squashed_not_committed(self):
+        machine = Machine(sum_loop(100).assemble(), FAST)
+        result = machine.run()
+        # issued counts wrong-path work; committed never does.
+        assert result.stats.issued >= result.stats.committed
+        assert result.stats.mispredicts > 0   # cold predictor at loop exit
+
+    def test_state_correct_despite_speculation(self):
+        asm = Assembler("specmem")
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 8)
+        asm.li("s3", 50)
+        asm.li("s4", 0)
+        asm.li("a5", buf)
+        asm.label("loop")
+        asm.op("and", "t0", "s3", 3)
+        asm.br("beq", "t0", "mult4")
+        asm.op("addq", "s4", "s4", 1)
+        asm.br("br", "next")
+        asm.label("mult4")
+        asm.op("addq", "s4", "s4", 100)
+        asm.store("stq", "s4", "a5", 0)
+        asm.label("next")
+        asm.op("subq", "s3", "s3", 1)
+        asm.br("bne", "s3", "loop")
+        asm.halt()
+        machine = Machine(asm.assemble(), BASELINE)
+        machine.run()
+        # Python model of the same computation:
+        s4 = 0
+        last_store = None
+        for s3 in range(50, 0, -1):
+            if s3 % 4 == 0:
+                s4 += 100
+                last_store = s4
+            else:
+                s4 += 1
+        assert machine.feed.reg(reg_index("s4")) == s4
+        assert machine.feed.memory.load(buf, 8) == last_store
+
+
+class TestStructuralLimits:
+    def test_ruu_never_exceeds_capacity(self):
+        config = replace(FAST, ruu_size=8, lsq_size=4)
+        machine = Machine(sum_loop(50).assemble(), config)
+        max_seen = 0
+        while not machine.done and machine.stats.cycles < 10000:
+            machine._step()
+            max_seen = max(max_seen, len(machine.ruu))
+        assert machine.done
+        assert max_seen <= 8
+
+    def test_commit_width_respected(self):
+        machine = Machine(sum_loop(100).assemble(), FAST)
+        prev = 0
+        while not machine.done and machine.stats.cycles < 10000:
+            machine._step()
+            committed_now = machine.stats.committed - prev
+            assert committed_now <= FAST.commit_width
+            prev = machine.stats.committed
+
+    def test_issue_width_respected_without_packing(self):
+        machine = Machine(sum_loop(100).assemble(), FAST)
+        prev = 0
+        while not machine.done and machine.stats.cycles < 10000:
+            machine._step()
+            issued_now = machine.stats.issued - prev
+            assert issued_now <= FAST.issue_width
+            prev = machine.stats.issued
+
+    def test_tiny_fetch_queue_still_correct(self):
+        config = replace(FAST, fetch_queue_size=2)
+        machine = Machine(sum_loop(30).assemble(), config)
+        machine.run()
+        assert machine.feed.reg(reg_index("s1")) == 465
+
+
+class TestWarmup:
+    def test_fast_forward_runs_functionally(self):
+        machine = Machine(sum_loop(100).assemble(), BASELINE)
+        executed = machine.fast_forward(50)
+        assert executed == 50
+        assert machine.stats.cycles == 0       # no timing yet
+        result = machine.run()
+        assert machine.feed.reg(reg_index("s1")) == 5050
+        assert result.stats.committed < 330    # the rest of the program
+
+    def test_fast_forward_stops_at_halt(self):
+        machine = Machine(sum_loop(5).assemble(), BASELINE)
+        executed = machine.fast_forward(10**6)
+        assert executed < 10**6
+        assert machine.feed.halted
+
+    def test_fast_forward_warms_caches(self):
+        machine = Machine(sum_loop(100).assemble(), BASELINE)
+        machine.fast_forward(20)
+        assert machine.hierarchy.l1i.stats.accesses > 0

@@ -1,0 +1,306 @@
+"""Unit and integration tests for operation packing (paper Section 5)."""
+
+from dataclasses import replace
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.bitwidth.tags import WidthTag, tag_value
+from repro.core.config import BASELINE, PackingConfig
+from repro.core.feed import DynInst
+from repro.core.machine import Machine
+from repro.core.ruu import RUUEntry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass, op_class
+from repro.isa.registers import reg_index
+from repro.isa.semantics import MASK64, to_unsigned
+from repro.memory.hierarchy import HierarchyConfig
+from repro.packing.pack import (
+    is_full_pack_candidate,
+    is_replay_pack_candidate,
+    open_pack,
+    pack_key,
+    replay_overflows,
+    try_join,
+)
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+PCFG = PackingConfig(enabled=True, max_subwords=4)
+RCFG = PackingConfig(enabled=True, replay=True, max_subwords=4)
+
+NARROW = WidthTag(True, True)
+WIDE = WidthTag(False, False)
+
+
+def entry(op: Opcode, a_val=1, b_val=2, tag_a=NARROW, tag_b=NARROW,
+          result=None) -> RUUEntry:
+    dyn = DynInst(seq=0, index=0, pc=0x1000,
+                  inst=Instruction(op, ra=1, rb=2, rd=3),
+                  op_class=op_class(op), a_val=a_val, b_val=b_val,
+                  tag_a=tag_a, tag_b=tag_b, result=result)
+    return RUUEntry(dyn=dyn, dispatch_cycle=0)
+
+
+class TestCandidates:
+    def test_narrow_arith_is_candidate(self):
+        assert is_full_pack_candidate(entry(Opcode.ADDQ))
+
+    def test_narrow_logic_and_shift_are_candidates(self):
+        assert is_full_pack_candidate(entry(Opcode.XOR))
+        assert is_full_pack_candidate(entry(Opcode.SLL))
+
+    def test_multiplies_never_pack(self):
+        assert not is_full_pack_candidate(entry(Opcode.MULQ))
+
+    def test_memory_and_branches_never_pack(self):
+        assert not is_full_pack_candidate(entry(Opcode.LDQ))
+        assert not is_full_pack_candidate(entry(Opcode.BEQ))
+
+    def test_wide_operand_blocks_full_pack(self):
+        assert not is_full_pack_candidate(entry(Opcode.ADDQ, tag_b=WIDE))
+
+    def test_no_pack_flag_respected(self):
+        e = entry(Opcode.ADDQ)
+        e.no_pack = True
+        assert not is_full_pack_candidate(e)
+
+    def test_replay_candidate_one_wide(self):
+        e = entry(Opcode.ADDQ, tag_a=WIDE)
+        assert is_replay_pack_candidate(e, RCFG)
+
+    def test_replay_disabled_in_config(self):
+        e = entry(Opcode.ADDQ, tag_a=WIDE)
+        assert not is_replay_pack_candidate(e, PCFG)
+
+    def test_replay_requires_add_sub(self):
+        # Logic results don't pass the wide operand's upper bits
+        # through, so speculating on them would be incorrect.
+        e = entry(Opcode.AND, tag_a=WIDE)
+        assert not is_replay_pack_candidate(e, RCFG)
+
+    def test_replay_rejects_both_narrow_or_both_wide(self):
+        assert not is_replay_pack_candidate(entry(Opcode.ADDQ), RCFG)
+        both_wide = entry(Opcode.ADDQ, tag_a=WIDE, tag_b=WIDE)
+        assert not is_replay_pack_candidate(both_wide, RCFG)
+
+
+class TestPackAssembly:
+    def test_same_opcode_key(self):
+        assert pack_key(entry(Opcode.ADDQ), PCFG) is Opcode.ADDQ
+
+    def test_class_key_when_relaxed(self):
+        cfg = replace(PCFG, same_opcode=False)
+        assert pack_key(entry(Opcode.ADDQ), cfg) is OpClass.INT_ARITH
+
+    def test_open_then_join(self):
+        packs: dict = {}
+        leader = entry(Opcode.ADDQ)
+        pack = open_pack(packs, leader, PCFG)
+        assert pack is not None and pack.lanes_left == 3
+        joined, replay = try_join(packs, entry(Opcode.ADDQ), PCFG)
+        assert joined is pack and not replay
+        assert pack.lanes_left == 2
+
+    def test_lane_capacity(self):
+        packs: dict = {}
+        open_pack(packs, entry(Opcode.ADDQ), PCFG)
+        for _ in range(3):
+            joined, _ = try_join(packs, entry(Opcode.ADDQ), PCFG)
+            assert joined is not None
+        joined, _ = try_join(packs, entry(Opcode.ADDQ), PCFG)
+        assert joined is None                    # full: 4 subwords max
+
+    def test_two_subword_config(self):
+        cfg = replace(PCFG, max_subwords=2)
+        packs: dict = {}
+        open_pack(packs, entry(Opcode.ADDQ), cfg)
+        assert try_join(packs, entry(Opcode.ADDQ), cfg)[0] is not None
+        assert try_join(packs, entry(Opcode.ADDQ), cfg)[0] is None
+
+    def test_different_opcode_does_not_join(self):
+        packs: dict = {}
+        open_pack(packs, entry(Opcode.ADDQ), PCFG)
+        joined, _ = try_join(packs, entry(Opcode.SUBQ), PCFG)
+        assert joined is None
+
+    def test_wide_entry_cannot_seed_pack(self):
+        packs: dict = {}
+        assert open_pack(packs, entry(Opcode.ADDQ, tag_a=WIDE), PCFG) is None
+
+    def test_only_one_replay_member_per_pack(self):
+        packs: dict = {}
+        open_pack(packs, entry(Opcode.ADDQ), RCFG)
+        wide1 = entry(Opcode.ADDQ, tag_a=WIDE)
+        wide2 = entry(Opcode.ADDQ, tag_a=WIDE)
+        joined, replay = try_join(packs, wide1, RCFG)
+        assert joined is not None and replay
+        joined, _ = try_join(packs, wide2, RCFG)
+        assert joined is None                    # wide bits occupied
+
+
+class TestReplayOverflow:
+    def make(self, a, b):
+        a, b = to_unsigned(a), to_unsigned(b)
+        e = entry(Opcode.ADDQ,
+                  a_val=a, b_val=b,
+                  tag_a=tag_value(a), tag_b=tag_value(b),
+                  result=(a + b) & MASK64)
+        return e
+
+    def test_no_overflow_common_case(self):
+        # big + small with no carry into the upper 48 bits.
+        e = self.make(0x1_0000_0000, 5)
+        assert not replay_overflows(e)
+
+    def test_overflow_on_carry(self):
+        # 0x...FFFF + 1 carries out of the low 16 bits.
+        e = self.make(0x1_0000_FFFF, 1)
+        assert replay_overflows(e)
+
+    def test_borrow_from_negative_small(self):
+        # big + (-1) borrows into the upper bits.
+        e = self.make(0x1_0000_0000, -1)
+        assert replay_overflows(e)
+
+    @given(st.integers(min_value=1 << 17, max_value=MASK64 >> 1),
+           st.integers(min_value=-32768, max_value=32767))
+    def test_overflow_detection_exact(self, wide, small):
+        # ``wide`` is genuinely wide (> 17 bits), ``small`` narrow — the
+        # only shape that reaches replay packing.
+        e = self.make(wide, small)
+        truth = ((to_unsigned(wide) + to_unsigned(small)) & MASK64) >> 16
+        assert replay_overflows(e) == (truth != wide >> 16)
+
+
+def narrow_ilp_program(iterations=300) -> Assembler:
+    """Eight independent narrow add chains + a bursty load."""
+    asm = Assembler("narrow-ilp")
+    standard_prologue(asm)
+    buf = asm.alloc("buf", 256 * 1024)
+    asm.li("s0", buf)
+    regs = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"]
+    for r in regs:
+        asm.clr(r)
+    asm.li("s1", iterations)
+    asm.label("loop")
+    asm.load("ldq", "s2", "s0", 0)
+    for r in regs:
+        asm.op("addq", r, r, 3)
+    asm.op("addq", "s0", "s0", 64)
+    asm.op("subq", "s1", "s1", 1)
+    asm.br("bne", "s1", "loop")
+    asm.halt()
+    return asm
+
+
+def streaming_fanout_program(passes=3) -> Assembler:
+    """The paper's winning regime: L1-miss loads (L2 warm after the
+    first pass) feeding bursts of independent narrow consumers."""
+    asm = Assembler("fanout")
+    standard_prologue(asm)
+    buf = asm.alloc("buf", 96 * 1024)
+    asm.li("a1", passes)
+    asm.label("pass")
+    asm.li("s0", buf)
+    asm.li("a0", 96 * 1024 // 64)
+    asm.label("loop")
+    asm.load("ldq", "t0", "s0", 0)
+    asm.op("and", "t1", "t0", 255)
+    for i, r in enumerate(("t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")):
+        asm.op("addq", r, "t1", 2 * i + 1)
+    for i, r in enumerate(("t10", "t11", "t12", "a2")):
+        asm.op("sll", r, "t1", i + 1)
+    asm.op("addq", "s1", "s1", "t2")
+    asm.op("addq", "s2", "s2", "t3")
+    asm.op("addq", "s0", "s0", 64)
+    asm.op("subq", "a0", "a0", 1)
+    asm.br("bne", "a0", "loop")
+    asm.op("subq", "a1", "a1", 1)
+    asm.br("bne", "a1", "pass")
+    asm.halt()
+    return asm
+
+
+def _run_warm(program, config, warmup=96 * 1024 // 64 * 21 + 30):
+    machine = Machine(program, config)
+    machine.fast_forward(warmup)      # pass 1 warms the L2
+    return machine.run()
+
+
+class TestPackingInMachine:
+    def test_results_identical_with_packing(self):
+        program = narrow_ilp_program().assemble()
+        base = Machine(program, FAST)
+        base.run()
+        packed = Machine(program, FAST.with_packing())
+        packed.run()
+        for r in range(32):
+            assert base.feed.reg(r) == packed.feed.reg(r)
+
+    def test_packing_counts_groups(self):
+        result = Machine(narrow_ilp_program().assemble(),
+                         BASELINE.with_packing()).run()
+        assert result.stats.pack_groups > 0
+        assert result.stats.packed_ops >= 2 * result.stats.pack_groups
+
+    def test_packing_never_slows_down(self):
+        program = narrow_ilp_program().assemble()
+        base = Machine(program, BASELINE).run()
+        packed = Machine(program, BASELINE.with_packing()).run()
+        assert packed.stats.cycles <= base.stats.cycles
+
+    def test_packing_beats_baseline_on_bursty_narrow_code(self):
+        # The regime the paper exploits: L1-miss bursts drained faster
+        # because narrow ops share ALUs.
+        program = streaming_fanout_program().assemble()
+        base = _run_warm(program, BASELINE)
+        packed = _run_warm(program, BASELINE.with_packing())
+        speedup = 100 * (base.stats.cycles / packed.stats.cycles - 1)
+        assert speedup > 5.0
+
+    def test_packed_machine_tracks_8issue(self):
+        # Figure 11: the packed 4-issue machine "comes very close to
+        # achieving the same IPC as the more costly 8-issue/8-ALU
+        # implementation".
+        program = streaming_fanout_program().assemble()
+        packed = _run_warm(program, BASELINE.with_packing())
+        wide = _run_warm(program, BASELINE.with_issue_width(8, 8))
+        assert packed.stats.cycles <= wide.stats.cycles * 1.10
+
+    def test_replay_packing_results_still_correct(self):
+        # Wide base-address adds speculate and sometimes trap; the
+        # final architected state must be unaffected.
+        asm = Assembler("replay")
+        standard_prologue(asm)
+        buf = asm.alloc("buf", 8 * 4096)
+        asm.li("s0", buf + 0xFFF8)       # low 16 bits near the carry edge
+        asm.clr("s2")
+        asm.li("s1", 300)
+        asm.label("loop")
+        # The narrow add comes first so it opens a pack the wide
+        # pointer add can speculatively join.
+        asm.op("addq", "s2", "s2", 1)
+        asm.op("addq", "s0", "s0", 8)    # wide + narrow: replay packable
+        asm.op("subq", "s1", "s1", 1)
+        asm.br("bne", "s1", "loop")
+        asm.halt()
+        program = asm.assemble()
+        base = Machine(program, FAST)
+        base.run()
+        replay = Machine(program, FAST.with_packing(replay=True))
+        result = replay.run()
+        assert base.feed.reg(reg_index("s0")) == replay.feed.reg(
+            reg_index("s0"))
+        assert result.stats.replay_traps >= 1   # crossed the carry edge
+
+    def test_replay_traps_are_rare_relative_to_packs(self):
+        program = narrow_ilp_program().assemble()
+        result = Machine(program, BASELINE.with_packing(replay=True)).run()
+        # Section 5.3: overflow "happens relatively infrequently".
+        assert result.stats.replay_traps <= result.stats.packed_ops
+
+    def test_packing_disabled_has_no_packs(self):
+        result = Machine(narrow_ilp_program().assemble(), BASELINE).run()
+        assert result.stats.packed_ops == 0
+        assert result.stats.pack_groups == 0

@@ -1,0 +1,190 @@
+"""Unit tests for the Table 4 device model, gating policy, and power
+accounting."""
+
+import pytest
+
+from repro.bitwidth.tags import UNKNOWN_TAG, WidthTag, tag_value
+from repro.isa.opcodes import OpClass
+from repro.power.accounting import PowerAccountant
+from repro.power.devices import (
+    MUX_OVERHEAD_MW,
+    ZERO_DETECT_MW,
+    Device,
+    device_for,
+    device_power,
+)
+from repro.power.gating import FULL_GATING, OPCODE_ONLY, GatingPolicy, gate_width
+
+NARROW = WidthTag(True, True)
+ADDRESS = WidthTag(False, True)
+WIDE = WidthTag(False, False)
+
+
+class TestDevices:
+    def test_table4_64bit_column(self):
+        assert device_power(Device.ADDER, 64) == 210.0
+        assert device_power(Device.MULTIPLIER, 64) == 2100.0
+        assert device_power(Device.LOGIC, 64) == 11.7
+        assert device_power(Device.SHIFTER, 64) == 8.8
+
+    def test_table4_32bit_column(self):
+        assert device_power(Device.ADDER, 32) == 105.0
+        assert device_power(Device.MULTIPLIER, 32) == 1050.0
+
+    def test_table4_48bit_column_close_to_paper(self):
+        # The paper's published 48-bit values (158, 1580, 8.7) are
+        # rounded; linear scaling lands within 1%.
+        assert device_power(Device.ADDER, 48) == pytest.approx(158, rel=0.01)
+        assert device_power(Device.MULTIPLIER, 48) == pytest.approx(
+            1580, rel=0.01)
+        assert device_power(Device.LOGIC, 48) == pytest.approx(8.7, rel=0.02)
+
+    def test_linear_scaling(self):
+        # "power usage scaling linearly with the operand size".
+        assert device_power(Device.ADDER, 16) == 210.0 / 4
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            device_power(Device.ADDER, 0)
+        with pytest.raises(ValueError):
+            device_power(Device.ADDER, 65)
+
+    def test_class_mapping(self):
+        assert device_for(OpClass.INT_ARITH) is Device.ADDER
+        assert device_for(OpClass.INT_MULT) is Device.MULTIPLIER
+        assert device_for(OpClass.INT_LOGIC) is Device.LOGIC
+        assert device_for(OpClass.INT_SHIFT) is Device.SHIFTER
+        # Memory/branch address arithmetic runs on the adder.
+        assert device_for(OpClass.LOAD) is Device.ADDER
+        assert device_for(OpClass.STORE) is Device.ADDER
+        assert device_for(OpClass.BRANCH) is Device.ADDER
+        assert device_for(OpClass.NOP) is None
+
+    def test_overheads(self):
+        assert ZERO_DETECT_MW == 4.2
+        assert MUX_OVERHEAD_MW == 3.2
+
+
+class TestGatingPolicy:
+    def test_full_gating_16(self):
+        assert gate_width(FULL_GATING, NARROW, NARROW) == 16
+
+    def test_both_operands_must_be_narrow(self):
+        # Figure 4 caption: "Both operands must be small".
+        assert gate_width(FULL_GATING, NARROW, WIDE) == 64
+        assert gate_width(FULL_GATING, WIDE, NARROW) == 64
+
+    def test_address_cut(self):
+        assert gate_width(FULL_GATING, NARROW, ADDRESS) == 33
+        assert gate_width(FULL_GATING, ADDRESS, ADDRESS) == 33
+
+    def test_gate16_only(self):
+        policy = GatingPolicy(gate33=False)
+        assert gate_width(policy, ADDRESS, ADDRESS) == 64
+        assert gate_width(policy, NARROW, NARROW) == 16
+
+    def test_gate33_only(self):
+        policy = GatingPolicy(gate16=False)
+        assert gate_width(policy, NARROW, NARROW) == 33
+
+    def test_opcode_only_never_gates(self):
+        assert not OPCODE_ONLY.enabled
+        assert gate_width(OPCODE_ONLY, NARROW, NARROW) == 64
+
+    def test_unknown_tag_blocks_gating(self):
+        # A load result without a cache-side zero detect cannot gate.
+        assert gate_width(FULL_GATING, UNKNOWN_TAG, NARROW) == 64
+
+
+class TestAccounting:
+    def test_narrow_add(self):
+        acc = PowerAccountant()
+        width = acc.record_op(OpClass.INT_ARITH, NARROW, NARROW)
+        assert width == 16
+        assert acc.baseline_total == 210.0
+        # active slice + mux + zero-detect
+        assert acc.gated_total == pytest.approx(
+            210.0 * 16 / 64 + MUX_OVERHEAD_MW + ZERO_DETECT_MW)
+        assert acc.saved16_total == pytest.approx(210.0 * 48 / 64)
+
+    def test_wide_add_full_power(self):
+        acc = PowerAccountant()
+        acc.record_op(OpClass.INT_ARITH, WIDE, WIDE)
+        # Full device power plus the always-on zero detect on the result.
+        assert acc.gated_total == pytest.approx(210.0 + ZERO_DETECT_MW)
+        assert acc.saved16_total == 0.0
+
+    def test_address_add(self):
+        acc = PowerAccountant()
+        width = acc.record_op(OpClass.LOAD, ADDRESS, NARROW,
+                              produces_result=True)
+        assert width == 33
+        assert acc.saved33_total == pytest.approx(210.0 * 31 / 64)
+
+    def test_no_result_no_zero_detect(self):
+        acc = PowerAccountant()
+        acc.record_op(OpClass.STORE, WIDE, WIDE, produces_result=False)
+        assert acc.overhead_total == 0.0
+
+    def test_nop_not_counted(self):
+        acc = PowerAccountant()
+        width = acc.record_op(OpClass.NOP, NARROW, NARROW)
+        assert width == 64
+        assert acc.ops_total == 0
+
+    def test_opcode_only_policy_has_no_overhead(self):
+        acc = PowerAccountant(policy=GatingPolicy(
+            gate16=False, gate33=False, operand_based=False))
+        acc.record_op(OpClass.INT_ARITH, NARROW, NARROW)
+        assert acc.gated_total == acc.baseline_total
+        assert acc.overhead_total == 0.0
+
+    def test_load_dependent_stat(self):
+        acc = PowerAccountant()
+        acc.record_op(OpClass.INT_ARITH, NARROW, NARROW,
+                      operand_from_load=True)
+        acc.record_op(OpClass.INT_ARITH, NARROW, NARROW,
+                      operand_from_load=False)
+        report = acc.report(cycles=10)
+        assert report.load_dependent_pct == 50.0
+
+    def test_report_per_cycle(self):
+        acc = PowerAccountant()
+        for _ in range(4):
+            acc.record_op(OpClass.INT_ARITH, NARROW, NARROW)
+        report = acc.report(cycles=2)
+        assert report.baseline == pytest.approx(4 * 210.0 / 2)
+        assert report.net_saved == pytest.approx(
+            report.saved16 + report.saved33 - report.overhead)
+
+    def test_report_reduction_sign(self):
+        acc = PowerAccountant()
+        for _ in range(100):
+            acc.record_op(OpClass.INT_ARITH, NARROW, NARROW)
+        report = acc.report(cycles=50)
+        assert 0 < report.reduction_pct < 100
+
+    def test_report_requires_cycles(self):
+        with pytest.raises(ValueError):
+            PowerAccountant().report(cycles=0)
+
+    def test_overhead_never_free_when_gating(self):
+        # Every gated op pays the mux; every result pays zero-detect.
+        acc = PowerAccountant()
+        acc.record_op(OpClass.INT_LOGIC, NARROW, NARROW)
+        assert acc.overhead_total == pytest.approx(
+            MUX_OVERHEAD_MW + ZERO_DETECT_MW)
+
+    def test_class_width_histogram(self):
+        acc = PowerAccountant()
+        acc.record_op(OpClass.INT_ARITH, NARROW, NARROW)
+        acc.record_op(OpClass.INT_ARITH, WIDE, WIDE)
+        acc.record_op(OpClass.INT_MULT, NARROW, NARROW)
+        assert acc.class_width_counts[(OpClass.INT_ARITH, 16)] == 1
+        assert acc.class_width_counts[(OpClass.INT_ARITH, 64)] == 1
+        assert acc.class_width_counts[(OpClass.INT_MULT, 16)] == 1
+
+    def test_tagged_values_integration(self):
+        acc = PowerAccountant()
+        width = acc.record_op(OpClass.INT_ARITH, tag_value(17), tag_value(2))
+        assert width == 16

@@ -1,0 +1,191 @@
+"""Unit tests for the branch predictors, BTB, and return-address stack."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.branch.counters import CounterTable
+from repro.branch.predictors import (
+    BimodalPredictor,
+    CombiningPredictor,
+    GlobalPredictor,
+    LocalPredictor,
+    PerfectPredictor,
+    make_predictor,
+)
+
+
+class TestCounterTable:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            CounterTable(100)
+
+    def test_starts_weakly_taken(self):
+        table = CounterTable(4, bits=2)
+        assert table.predict(0)
+        assert table.value(0) == 2
+
+    def test_saturates_high(self):
+        table = CounterTable(4, bits=2)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.value(0) == 3
+
+    def test_saturates_low(self):
+        table = CounterTable(4, bits=2)
+        for _ in range(10):
+            table.update(0, False)
+        assert table.value(0) == 0
+
+    def test_three_bit_counters(self):
+        table = CounterTable(4, bits=3)
+        assert table.threshold == 4
+        for _ in range(10):
+            table.update(0, True)
+        assert table.value(0) == 7
+
+
+def train(predictor, pc, outcomes):
+    """Feed a direction sequence; return the prediction accuracy."""
+    correct = 0
+    for taken in outcomes:
+        if predictor.predict(pc, taken) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(outcomes)
+
+
+class TestPerfect:
+    def test_always_right(self):
+        p = PerfectPredictor()
+        outcomes = [True, False, True, True, False] * 20
+        assert train(p, 0x1000, outcomes) == 1.0
+        assert p.stats.mispredicts == 0
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = BimodalPredictor()
+        assert train(p, 0x1000, [True] * 100) > 0.95
+
+    def test_cannot_learn_alternation(self):
+        # A 2-bit counter mispredicts heavily on strict alternation.
+        p = BimodalPredictor()
+        accuracy = train(p, 0x1000, [True, False] * 100)
+        assert accuracy < 0.8
+
+    def test_separate_pcs_independent(self):
+        p = BimodalPredictor()
+        train(p, 0x1000, [True] * 50)
+        train(p, 0x2000, [False] * 50)
+        assert p.lookup(0x1000)
+        assert not p.lookup(0x2000)
+
+
+class TestLocal:
+    def test_learns_short_period_pattern(self):
+        # The two-level local predictor captures patterns a bimodal
+        # cannot — the reason Table 1's machine includes it.
+        p = LocalPredictor()
+        pattern = ([True, True, False] * 200)
+        accuracy = train(p, 0x1000, pattern)
+        assert accuracy > 0.9
+
+
+class TestGlobal:
+    def test_learns_correlation(self):
+        # Outcome of the second branch equals the last outcome of the
+        # first: visible only through global history.
+        p = GlobalPredictor()
+        correct = total = 0
+        import random
+        rng = random.Random(7)
+        for _ in range(600):
+            first = rng.random() < 0.5
+            p.predict(0x100, first)
+            p.update(0x100, first)
+            predicted = p.predict(0x200, first)
+            p.update(0x200, first)
+            total += 1
+            correct += (predicted == first)
+        assert correct / total > 0.85
+
+
+class TestCombining:
+    def test_beats_or_matches_components_on_mixed_workload(self):
+        combining = CombiningPredictor()
+        pattern = [True, True, False] * 300
+        accuracy = train(combining, 0x1000, pattern)
+        assert accuracy > 0.85
+
+    def test_lookup_untrained(self):
+        p = CombiningPredictor()
+        before = p.stats.lookups
+        p.lookup(0x1000)
+        assert p.stats.lookups == before
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        for kind, cls in (("perfect", PerfectPredictor),
+                          ("combining", CombiningPredictor),
+                          ("bimodal", BimodalPredictor),
+                          ("local", LocalPredictor),
+                          ("global", GlobalPredictor)):
+            assert isinstance(make_predictor(kind), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor("neural")
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_retarget(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_two_way_conflict_lru(self):
+        btb = BranchTargetBuffer(entries=4, assoc=2)   # 2 sets
+        stride = 2 * 4                                 # same set, idx/4
+        a, b, c = 0, stride * 4, 2 * stride * 4
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.lookup(a)          # refresh a
+        btb.update(c, 3)       # evicts b
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+        assert btb.lookup(c) == 3
+
+
+class TestRAS:
+    def test_lifo(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_empty_pop(self):
+        ras = ReturnAddressStack()
+        assert ras.pop() is None
+
+    def test_circular_overflow(self):
+        ras = ReturnAddressStack(entries=4)
+        for pc in range(1, 7):
+            ras.push(pc)
+        # Only the newest 4 survive; the oldest were overwritten.
+        assert [ras.pop() for _ in range(4)] == [6, 5, 4, 3]
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(1)
+        ras.push(2)
+        assert len(ras) == 2

@@ -1,0 +1,146 @@
+"""Unit tests for statistics collection (width histograms, fluctuation
+tracking, core counters)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import OpClass
+from repro.stats.counters import CoreStats, speedup_pct
+from repro.stats.fluctuation import FluctuationTracker
+from repro.stats.widths import WIDTH_TRACKED_CLASSES, WidthHistogram
+
+
+class TestWidthHistogram:
+    def test_cumulative_curve_monotone(self):
+        hist = WidthHistogram()
+        for w in (3, 8, 16, 33, 50):
+            hist.record(OpClass.INT_ARITH, w)
+        curve = hist.cumulative_curve()
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(100.0)
+
+    def test_cumulative_pct(self):
+        hist = WidthHistogram()
+        hist.record(OpClass.INT_ARITH, 10)
+        hist.record(OpClass.INT_ARITH, 20)
+        hist.record(OpClass.INT_ARITH, 40)
+        assert hist.cumulative_pct(16) == pytest.approx(100 / 3)
+        assert hist.cumulative_pct(33) == pytest.approx(200 / 3)
+        assert hist.cumulative_pct(64) == pytest.approx(100.0)
+
+    def test_class_filter(self):
+        hist = WidthHistogram()
+        hist.record(OpClass.INT_ARITH, 10)
+        hist.record(OpClass.LOAD, 33)
+        assert hist.cumulative_pct(16, (OpClass.INT_ARITH,)) == 100.0
+        assert hist.cumulative_pct(16, (OpClass.LOAD,)) == 0.0
+
+    def test_narrow_pct_by_class_denominator_is_all_tracked(self):
+        # Figures 4/5 normalize per-class bars by ALL operations so the
+        # class bars stack to the benchmark total.
+        hist = WidthHistogram()
+        hist.record(OpClass.INT_ARITH, 8)       # narrow
+        hist.record(OpClass.INT_LOGIC, 8)       # narrow
+        hist.record(OpClass.LOAD, 40)           # wide
+        hist.record(OpClass.LOAD, 40)           # wide
+        by_class = hist.narrow_pct_by_class(16)
+        assert by_class[OpClass.INT_ARITH] == pytest.approx(25.0)
+        assert by_class[OpClass.INT_LOGIC] == pytest.approx(25.0)
+        assert by_class.get(OpClass.LOAD, 0.0) == 0.0
+
+    def test_rejects_bad_width(self):
+        hist = WidthHistogram()
+        with pytest.raises(ValueError):
+            hist.record(OpClass.INT_ARITH, 0)
+        with pytest.raises(ValueError):
+            hist.record(OpClass.INT_ARITH, 65)
+
+    def test_tracked_classes_include_address_calcs(self):
+        # Figure 1 "includes address calculations".
+        assert OpClass.LOAD in WIDTH_TRACKED_CLASSES
+        assert OpClass.STORE in WIDTH_TRACKED_CLASSES
+        assert OpClass.BRANCH in WIDTH_TRACKED_CLASSES
+        assert OpClass.NOP not in WIDTH_TRACKED_CLASSES
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1))
+    def test_total_matches_records(self, widths):
+        hist = WidthHistogram()
+        for w in widths:
+            hist.record(OpClass.INT_ARITH, w)
+        assert hist.total == len(widths)
+        assert hist.count_at_most(64) == len(widths)
+
+
+class TestFluctuationTracker:
+    def test_stable_pc_does_not_fluctuate(self):
+        tracker = FluctuationTracker()
+        for _ in range(10):
+            tracker.record(0x1000, 8)
+        assert tracker.fluctuation_pct == 0.0
+
+    def test_crossing_pc_counts(self):
+        tracker = FluctuationTracker()
+        tracker.record(0x1000, 8)     # narrow
+        tracker.record(0x1000, 40)    # wide: crossed the line
+        assert tracker.changed_pcs == 1
+        assert tracker.fluctuation_pct == 100.0
+
+    def test_single_execution_not_eligible(self):
+        tracker = FluctuationTracker()
+        tracker.record(0x1000, 8)
+        assert tracker.eligible_pcs == 0
+        assert tracker.fluctuation_pct == 0.0
+
+    def test_mixed_population(self):
+        tracker = FluctuationTracker()
+        for _ in range(3):
+            tracker.record(0x1000, 8)      # stable narrow
+        for _ in range(3):
+            tracker.record(0x2000, 40)     # stable wide
+        tracker.record(0x3000, 8)
+        tracker.record(0x3000, 40)         # fluctuates
+        assert tracker.total_pcs == 3
+        assert tracker.eligible_pcs == 3
+        assert tracker.fluctuation_pct == pytest.approx(100 / 3)
+
+    def test_change_within_same_side_ignored(self):
+        tracker = FluctuationTracker()
+        tracker.record(0x1000, 4)
+        tracker.record(0x1000, 12)     # both <= 16: no crossing
+        assert tracker.changed_pcs == 0
+
+    def test_threshold_configurable(self):
+        tracker = FluctuationTracker(threshold=33)
+        tracker.record(0x1000, 20)
+        tracker.record(0x1000, 40)
+        assert tracker.changed_pcs == 1
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats(cycles=100, committed=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_no_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_branch_accuracy(self):
+        stats = CoreStats(cond_branches_committed=100, mispredicts=8)
+        assert stats.branch_accuracy == pytest.approx(0.92)
+
+    def test_class_mix(self):
+        stats = CoreStats()
+        stats.count_class("arith")
+        stats.count_class("arith")
+        stats.count_class("load")
+        assert stats.class_mix == {"arith": 2, "load": 1}
+
+    def test_speedup_pct(self):
+        assert speedup_pct(110, 100) == pytest.approx(10.0)
+        assert speedup_pct(100, 100) == 0.0
+        assert speedup_pct(95, 100) == pytest.approx(-5.0)
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup_pct(100, 0)

@@ -1,0 +1,119 @@
+"""Tests for the thermal-management extension (paper Section 5's
+'switch between the two techniques on thermal sensory data')."""
+
+import pytest
+
+from repro.core.config import BASELINE
+from repro.power.thermal import (
+    Mode,
+    ThermalConfig,
+    ThermalController,
+    ThermalModel,
+    run_managed,
+)
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self):
+        model = ThermalModel()
+        assert model.temperature_c == ThermalConfig().ambient_c
+
+    def test_heats_toward_steady_state(self):
+        config = ThermalConfig(ambient_c=40, resistance_c_per_mw=0.1,
+                               alpha=0.5)
+        model = ThermalModel(config)
+        steady = 40 + 500 * 0.1        # 90 C at 500 mW
+        for _ in range(100):
+            model.step(500.0)
+        assert model.temperature_c == pytest.approx(steady, abs=0.5)
+
+    def test_cools_to_ambient_at_zero_power(self):
+        model = ThermalModel(ThermalConfig(alpha=0.5))
+        for _ in range(20):
+            model.step(1000.0)
+        hot = model.temperature_c
+        for _ in range(200):
+            model.step(0.0)
+        assert model.temperature_c < hot
+        assert model.temperature_c == pytest.approx(
+            ThermalConfig().ambient_c, abs=0.5)
+
+    def test_monotone_heating(self):
+        model = ThermalModel()
+        last = model.temperature_c
+        for _ in range(50):
+            now = model.step(800.0)
+            assert now >= last
+            last = now
+
+
+class TestController:
+    def make(self):
+        return ThermalController(ThermalConfig(
+            ambient_c=45, resistance_c_per_mw=0.1, alpha=0.5,
+            hot_c=70, cool_c=60))
+
+    def test_starts_in_packing_mode(self):
+        assert self.make().mode is Mode.PACKING
+
+    def test_switches_to_gating_when_hot(self):
+        controller = self.make()
+        for _ in range(50):
+            controller.observe(600.0)      # steady state 105 C
+        assert controller.mode is Mode.GATING
+        assert controller.stats.switches >= 1
+
+    def test_returns_to_packing_when_cool(self):
+        controller = self.make()
+        for _ in range(50):
+            controller.observe(600.0)
+        for _ in range(100):
+            controller.observe(50.0)       # steady state 50 C
+        assert controller.mode is Mode.PACKING
+
+    def test_hysteresis_no_thrash_in_band(self):
+        controller = self.make()
+        # Power whose steady state (65 C) sits inside the band.
+        for _ in range(200):
+            controller.observe(200.0)
+        assert controller.stats.switches == 0
+        assert controller.mode is Mode.PACKING
+
+    def test_stats_account_every_interval(self):
+        controller = self.make()
+        for _ in range(30):
+            controller.observe(100.0)
+        stats = controller.stats
+        assert stats.intervals == 30
+        assert stats.packing_intervals + stats.gating_intervals == 30
+        assert 0.0 <= stats.packing_fraction <= 1.0
+        assert stats.max_temperature_c >= ThermalConfig().ambient_c
+
+
+class TestManagedRun:
+    @pytest.fixture(scope="class")
+    def program(self):
+        from repro.workloads.registry import get_workload
+        return get_workload("gsm-encode").build()
+
+    def test_hot_limits_force_gating_intervals(self, program):
+        # Thresholds low enough that any activity overheats.
+        hot = ThermalConfig(hot_c=50.0, cool_c=48.0, alpha=0.5,
+                            interval_cycles=64)
+        result = run_managed(program, BASELINE, hot, max_insts=8000)
+        assert result.stats.gating_intervals > 0
+        assert result.stats.max_temperature_c > 50.0
+
+    def test_cool_package_stays_in_packing(self, program):
+        cold = ThermalConfig(hot_c=10_000.0, cool_c=9_000.0,
+                             interval_cycles=64)
+        result = run_managed(program, BASELINE, cold, max_insts=8000)
+        assert result.stats.gating_intervals == 0
+        assert result.stats.packing_fraction == 1.0
+
+    def test_managed_run_completes_and_reports(self, program):
+        result = run_managed(program, BASELINE, max_insts=6000)
+        assert result.committed >= 6000
+        assert result.cycles > 0
+        assert 0 < result.ipc <= 4.0
+        assert result.mean_power_mw > 0

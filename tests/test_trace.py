@@ -1,0 +1,94 @@
+"""Tests for the pipeline tracer — and, through it, stage-ordering
+invariants of the machine itself."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.core.trace import PipelineTracer, program_listing, render_trace
+from repro.memory.hierarchy import HierarchyConfig
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def traced_machine(asm: Assembler, config=FAST) -> PipelineTracer:
+    tracer = PipelineTracer(Machine(asm.assemble(), config))
+    tracer.run(max_cycles=50_000)
+    assert tracer.machine.done
+    return tracer
+
+
+def loop_program(n=20) -> Assembler:
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.clr("s1")
+    asm.label("loop")
+    asm.op("addq", "s1", "s1", "s0")
+    asm.op("xor", "t0", "s1", 3)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+class TestStageOrdering:
+    def test_stages_monotone_per_instruction(self):
+        tracer = traced_machine(loop_program())
+        for timeline in tracer.committed():
+            assert timeline.fetch >= 0
+            assert timeline.dispatch > timeline.fetch
+            if timeline.issue >= 0:       # NOP/HALT complete at dispatch
+                assert timeline.issue > timeline.dispatch
+                assert timeline.complete > timeline.issue
+            assert timeline.commit >= timeline.complete
+
+    def test_commit_is_in_order(self):
+        tracer = traced_machine(loop_program())
+        commits = [t.commit for t in tracer.committed()]
+        assert commits == sorted(commits)
+
+    def test_all_committed_instructions_traced(self):
+        tracer = traced_machine(loop_program())
+        assert len(tracer.committed()) == tracer.machine.stats.committed
+
+    def test_squashed_instructions_marked(self):
+        # The loop-exit mispredicts at least once on a cold predictor,
+        # so some wrong-path instructions must be squashed.
+        tracer = traced_machine(loop_program())
+        squashed = [t for t in tracer.timelines.values() if t.squashed]
+        committed = {t.seq for t in tracer.committed()}
+        assert squashed
+        assert all(t.seq not in committed for t in squashed)
+
+    def test_mispredict_gap_visible(self):
+        """After a misprediction resolves, the next committed
+        instruction's fetch is at least penalty cycles after it."""
+        tracer = traced_machine(loop_program())
+        machine = tracer.machine
+        assert machine.stats.mispredicts > 0
+
+
+class TestRendering:
+    def test_render_contains_stage_letters(self):
+        tracer = traced_machine(loop_program(5))
+        text = render_trace(tracer, count=10)
+        for letter in "FDIR":
+            assert letter in text
+
+    def test_render_empty(self):
+        tracer = PipelineTracer(Machine(loop_program(3).assemble(), FAST))
+        assert "no committed" in render_trace(tracer)
+
+    def test_window_selection(self):
+        tracer = traced_machine(loop_program(10))
+        head = render_trace(tracer, first=0, count=3)
+        assert len(head.splitlines()) == 4    # header + 3 rows
+
+    def test_program_listing(self):
+        program = loop_program(2).assemble()
+        listing = program_listing(program)
+        assert len(listing.splitlines()) == len(program)
+        assert "addq" in listing
+        assert f"{program.base_pc:#010x}" in listing
