@@ -14,7 +14,10 @@ The package provides:
 * :mod:`repro.packing` — issue-time operation packing and replay
   packing (Section 5);
 * :mod:`repro.workloads` — SPECint95 / MediaBench stand-in kernels;
-* :mod:`repro.experiments` — regeneration of every figure and table.
+* :mod:`repro.experiments` — regeneration of every figure and table;
+* :mod:`repro.obs` — observability: the pipeline event bus, interval
+  sampler, top-down CPI stall attribution, and JSONL run artifacts
+  (``repro-obs`` / ``repro-experiments --obs-out``).
 
 Quickstart::
 

@@ -35,6 +35,19 @@ class PackingConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability defaults consumed by the obs layer (the event bus
+    itself is always available and free when unused)."""
+
+    #: interval-sampler window in cycles (``repro-obs --window``).
+    sampler_window: int = 1000
+    #: record the raw event trace by default in the obs CLI.
+    events: bool = False
+    #: cap on recorded events per run (traces are large).
+    max_events: int = 200_000
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Full processor configuration; defaults are the paper's Table 1."""
 
@@ -67,6 +80,9 @@ class MachineConfig:
     packing: PackingConfig = field(default_factory=PackingConfig)
     gating: GatingPolicy = field(default_factory=GatingPolicy)
 
+    # observability defaults (sampler window, event-trace caps)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
     # simulation safety net
     max_cycles: int = 200_000_000
 
@@ -94,6 +110,18 @@ class MachineConfig:
 
     def with_gating(self, gating: GatingPolicy) -> "MachineConfig":
         return replace(self, gating=gating)
+
+    def with_obs(self, sampler_window: int | None = None,
+                 events: bool | None = None,
+                 max_events: int | None = None) -> "MachineConfig":
+        """This configuration with adjusted observability defaults."""
+        obs = self.obs
+        return replace(self, obs=ObsConfig(
+            sampler_window=(sampler_window if sampler_window is not None
+                            else obs.sampler_window),
+            events=events if events is not None else obs.events,
+            max_events=(max_events if max_events is not None
+                        else obs.max_events)))
 
 
 #: Table 1 baseline.

@@ -21,6 +21,21 @@ The machine also hosts the measurement instruments: the width histogram
 (Figures 1/4/5), the fluctuation tracker (Figure 2), and the power
 accountant (Figures 6/7), all sampled at issue time — when operations
 actually exercise functional units, wrong path included.
+
+Observability hooks (:mod:`repro.obs`) ride on top of the timing model
+without perturbing it:
+
+* a **pipeline event bus** — :meth:`Machine.subscribe` registers a
+  callable that receives typed events (fetch, icache_miss, dispatch,
+  issue, pack_join, replay_trap, mispredict_recover, complete, commit,
+  squash).  Every emission site is guarded by ``if self._subscribers:``
+  so an unobserved machine allocates no event objects;
+* **per-cycle probes** — :meth:`Machine.add_probe` objects get
+  ``on_cycle(machine)`` after each simulated cycle (interval sampler);
+* **stall attribution** — :meth:`Machine.enable_stall_attribution`
+  makes the issue stage classify every unused issue slot per cycle
+  (frontend, deps, structural, recovery), conserving
+  ``issue_width × cycles`` slots exactly.
 """
 
 from __future__ import annotations
@@ -35,6 +50,21 @@ from repro.core.ruu import RUU, RUUEntry
 from repro.isa.instruction import Program
 from repro.isa.opcodes import Opcode, OpClass
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.attribution import StallAttribution
+from repro.obs.events import (
+    CommitEvent,
+    CompleteEvent,
+    DispatchEvent,
+    Event,
+    FetchEvent,
+    ICacheMissEvent,
+    IssueEvent,
+    MispredictRecoverEvent,
+    PackJoinEvent,
+    ReplayTrapEvent,
+    SquashEvent,
+    Subscriber,
+)
 from repro.packing.pack import OpenPack, open_pack, replay_overflows, try_join
 from repro.power.accounting import PowerAccountant, PowerReport
 from repro.stats.counters import CoreStats
@@ -82,6 +112,43 @@ class Machine:
         self._measuring = True
         self.done = False
 
+        # observability (zero-cost until something attaches)
+        self._subscribers: list[Subscriber] = []
+        self._probes: list = []
+        self.attribution: StallAttribution | None = None
+
+    # ----------------------------------------------------------- observability
+
+    def subscribe(self, handler: Subscriber) -> Subscriber:
+        """Attach an event-bus subscriber (a callable taking one
+        :class:`~repro.obs.events.Event`); returns it for chaining."""
+        self._subscribers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Subscriber) -> None:
+        self._subscribers.remove(handler)
+
+    def add_probe(self, probe) -> object:
+        """Attach a per-cycle probe: ``probe.on_cycle(machine)`` runs
+        after every simulated cycle."""
+        self._probes.append(probe)
+        return probe
+
+    def remove_probe(self, probe) -> None:
+        self._probes.remove(probe)
+
+    def enable_stall_attribution(self) -> StallAttribution:
+        """Turn on top-down issue-slot accounting; returns the
+        accumulating :class:`~repro.obs.attribution.StallAttribution`."""
+        if self.attribution is None:
+            self.attribution = StallAttribution(
+                issue_width=self.config.issue_width)
+        return self.attribution
+
+    def _emit(self, event: Event) -> None:
+        for handler in self._subscribers:
+            handler(event)
+
     # ------------------------------------------------------------------ run
 
     def fast_forward(self, instructions: int) -> int:
@@ -108,14 +175,15 @@ class Machine:
         while not self.done and self._cycle < self.config.max_cycles:
             if target is not None and self.stats.committed >= target:
                 break
-            self._step()
+            self.step()
         power = (self.accountant.report(self.stats.cycles)
                  if self.stats.cycles else None)
         return RunResult(name=self.program.name, config=self.config,
                          stats=self.stats, widths=self.widths,
                          fluctuation=self.fluctuation, power=power)
 
-    def _step(self) -> None:
+    def step(self) -> None:
+        """Simulate one machine cycle (all stages, reverse order)."""
         self._commit()
         self._writeback()
         self._issue()
@@ -123,6 +191,13 @@ class Machine:
         self._fetch()
         self._cycle += 1
         self.stats.cycles += 1
+        if self._probes:
+            for probe in self._probes:
+                probe.on_cycle(self)
+
+    #: Back-compat alias: external drivers historically stepped the
+    #: machine through the private name.
+    _step = step
 
     # ---------------------------------------------------------------- commit
 
@@ -133,6 +208,8 @@ class Machine:
             if head is None or not head.completed:
                 break
             self.ruu.retire_head()
+            if self._subscribers:
+                self._emit(CommitEvent(cycle=self._cycle, seq=head.seq))
             dyn = head.dyn
             dest = dyn.inst.dest_reg()
             if dest is not None and self._producer.get(dest) == head.seq:
@@ -168,10 +245,15 @@ class Machine:
                 entry.replay_pending = True
                 entry.replay_ready_cycle = self._cycle + 1
                 self.stats.replay_traps += 1
+                if self._subscribers:
+                    self._emit(ReplayTrapEvent(cycle=self._cycle,
+                                               seq=entry.seq))
                 continue
             entry.completed = True
             entry.complete_cycle = self._cycle
             self.stats.completed += 1
+            if self._subscribers:
+                self._emit(CompleteEvent(cycle=self._cycle, seq=entry.seq))
             dyn = entry.dyn
             if dyn.mispredicted and not dyn.spec:
                 self._recover(entry)
@@ -179,12 +261,21 @@ class Machine:
     def _recover(self, branch: RUUEntry) -> None:
         """Misprediction recovery at branch resolution."""
         self.stats.mispredicts += 1
-        self.ruu.squash_after(branch.seq)
+        squashed = self.ruu.squash_after(branch.seq)
+        dropped = list(self.fetch_queue) if self._subscribers else ()
         self.fetch_queue.clear()
         self.feed.recover()
         self._rebuild_producers()
         # Redirect: one cycle to restart fetch plus Table 1's penalty.
         self._fetch_resume = self._cycle + 1 + self.config.mispredict_penalty
+        if self._subscribers:
+            self._emit(MispredictRecoverEvent(
+                cycle=self._cycle, seq=branch.seq,
+                resume_cycle=self._fetch_resume))
+            for entry in squashed:
+                self._emit(SquashEvent(cycle=self._cycle, seq=entry.seq))
+            for dyn in dropped:
+                self._emit(SquashEvent(cycle=self._cycle, seq=dyn.seq))
 
     def _rebuild_producers(self) -> None:
         self._producer.clear()
@@ -202,6 +293,11 @@ class Machine:
         alus = config.int_alus
         mults = config.int_mult_div
         packs: dict[object, OpenPack] = {}
+        # stall-attribution bookkeeping (cheap int/bool updates; only
+        # consumed when enable_stall_attribution() was called)
+        n_struct_alu = 0
+        n_struct_mult = 0
+        blocked = False
 
         for entry in self.ruu.entries:
             if entry.issued or entry.completed or entry.squashed:
@@ -209,10 +305,13 @@ class Machine:
             if slots <= 0 and not (pcfg.enabled and packs):
                 break
             if entry.dispatch_cycle >= self._cycle:
+                blocked = True   # dispatched this cycle; issuable next
                 break   # younger entries dispatched even later
             if entry.replay_pending and self._cycle < entry.replay_ready_cycle:
+                blocked = True   # serving a replay re-issue window
                 continue
             if not self._ready(entry):
+                blocked = True   # waiting on producers (deps not ready)
                 continue
             dyn = entry.dyn
             needs_mult = dyn.op_class is OpClass.INT_MULT
@@ -223,15 +322,22 @@ class Machine:
                     self._start_execution(entry, packed=True,
                                           replay=is_replay)
                     self._count_pack_member(pack)
+                    if self._subscribers:
+                        self._emit(PackJoinEvent(
+                            cycle=self._cycle, seq=entry.seq,
+                            leader_seq=pack.members[0].seq,
+                            size=len(pack.members)))
                     continue
             if slots <= 0:
                 continue
             if needs_mult:
                 if mults <= 0:
+                    n_struct_mult += 1   # ready, denied the multiplier
                     continue
                 mults -= 1
             else:
                 if alus <= 0:
+                    n_struct_alu += 1    # ready, denied an ALU
                     continue
                 alus -= 1
             slots -= 1
@@ -239,6 +345,13 @@ class Machine:
             if (pcfg.enabled and not needs_mult
                     and not entry.replay_pending):
                 open_pack(packs, entry, pcfg)
+
+        if self.attribution is not None:
+            self.attribution.account_cycle(
+                used=config.issue_width - slots, unused=slots,
+                n_struct_alu=n_struct_alu, n_struct_mult=n_struct_mult,
+                blocked=blocked,
+                in_recovery=self._cycle < self._fetch_resume)
 
     def _count_pack_member(self, pack: OpenPack) -> None:
         """Pack statistics: a pack 'happens' once a second member joins."""
@@ -273,6 +386,9 @@ class Machine:
         entry.packed = entry.packed or packed
         entry.replay_packed = replay
         entry.replay_pending = False
+        if self._subscribers:
+            self._emit(IssueEvent(cycle=self._cycle, seq=entry.seq,
+                                  packed=packed, replay=replay))
         if dyn.op_class is OpClass.INT_MULT:
             latency = config.mult_latency
         elif dyn.inst.is_load and dyn.mem_addr is not None:
@@ -319,6 +435,11 @@ class Machine:
                 entry.completed = True
                 entry.complete_cycle = self._cycle
             self.ruu.add(entry)
+            if self._subscribers:
+                self._emit(DispatchEvent(cycle=self._cycle, seq=dyn.seq))
+                if entry.completed:   # NOP/HALT complete at dispatch
+                    self._emit(CompleteEvent(cycle=self._cycle,
+                                             seq=dyn.seq))
             dest = dyn.inst.dest_reg()
             if dest is not None:
                 self._producer[dest] = dyn.seq
@@ -368,11 +489,20 @@ class Machine:
             dyn.fetch_cycle = self._cycle
             self.fetch_queue.append(dyn)
             fetched += 1
-            if latency > l1_latency:
+            missed = latency > l1_latency
+            if missed:
                 # I-cache miss: this instruction arrives when the fill
                 # completes, and fetch stalls until then.
                 dyn.fetch_cycle = self._cycle + latency - 1
                 self._fetch_stall_until = self._cycle + latency - 1
+            if self._subscribers:
+                if missed:
+                    self._emit(ICacheMissEvent(cycle=self._cycle,
+                                               pc=dyn.pc, latency=latency))
+                self._emit(FetchEvent(cycle=dyn.fetch_cycle, seq=dyn.seq,
+                                      pc=dyn.pc, spec=dyn.spec,
+                                      text=str(dyn.inst)))
+            if missed:
                 break
             if dyn.next_index != dyn.index + 1:
                 break   # fetch break after any predicted-taken transfer

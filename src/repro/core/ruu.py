@@ -57,6 +57,11 @@ class RUU:
     def __len__(self) -> int:
         return len(self.entries)
 
+    @property
+    def lsq_used(self) -> int:
+        """Occupied LSQ slots (observability: sampler occupancy series)."""
+        return self._lsq_count
+
     def has_room(self, is_mem: bool) -> bool:
         if len(self.entries) >= self.size:
             return False

@@ -1,18 +1,27 @@
 """Pipeline tracing: per-instruction stage timelines.
 
-A :class:`PipelineTracer` attaches to a :class:`~repro.core.machine.Machine`
+A :class:`PipelineTracer` subscribes to a machine's pipeline event bus
 and records, for every dynamic instruction, the cycles at which it was
-fetched, dispatched, issued, completed, and committed (or squashed).
+fetched, dispatched, issued, completed, and committed (or squashed) —
+no per-cycle rescans of machine internals, just event replay.
 :func:`render_trace` prints the classic textbook pipeline diagram —
 invaluable when debugging issue-packing decisions or recovery timing,
 and used by the test suite to assert stage-ordering invariants.
+
+The tracer keeps its historical driving API (:meth:`PipelineTracer.run`
+and :meth:`PipelineTracer.step`) as a thin shim over the machine's
+public :meth:`~repro.core.machine.Machine.step`, so existing callers
+and tests keep working; but because it is only a subscriber, it equally
+well observes a machine driven by anything else (e.g.
+:meth:`~repro.core.machine.Machine.run`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.machine import Machine
+from repro.obs.events import Event
 
 
 @dataclass
@@ -34,73 +43,62 @@ class InstructionTimeline:
                 "C": self.complete, "R": self.commit}
 
 
-@dataclass
 class PipelineTracer:
-    """Records stage timestamps by observing a machine step by step."""
+    """Builds stage timelines by subscribing to a machine's event bus."""
 
-    machine: Machine
-    timelines: dict[int, InstructionTimeline] = field(default_factory=dict)
-    _committed_seen: int = 0
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.timelines: dict[int, InstructionTimeline] = {}
+        machine.subscribe(self._on_event)
+
+    def detach(self) -> None:
+        """Stop observing (the recorded timelines remain available)."""
+        self.machine.unsubscribe(self._on_event)
+
+    # -------------------------------------------------------------- driving
 
     def run(self, max_cycles: int | None = None) -> None:
-        """Drive the machine to completion, recording each cycle."""
+        """Drive the machine to completion (back-compat shim)."""
         limit = max_cycles or self.machine.config.max_cycles
         while not self.machine.done and self.machine.stats.cycles < limit:
             self.step()
 
     def step(self) -> None:
-        """Advance the machine one cycle and snapshot stage movement."""
-        machine = self.machine
-        before_commit = machine.stats.committed
-        ruu_before = {entry.seq: entry for entry in machine.ruu.entries}
-        head_seqs = [entry.seq for entry in machine.ruu.entries]
+        """Advance the machine one cycle (back-compat shim)."""
+        self.machine.step()
 
-        machine._step()
-        cycle = machine.stats.cycles - 1   # the cycle just simulated
+    # ------------------------------------------------------------ observing
 
-        # New fetch-queue arrivals.
-        for dyn in machine.fetch_queue:
-            timeline = self._timeline_for(dyn)
+    def _on_event(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "fetch":
+            timeline = self._timeline_for(event.seq, event.text, event.spec)
             if timeline.fetch < 0:
-                timeline.fetch = dyn.fetch_cycle
-
-        # RUU entries: dispatch / issue / completion transitions.
-        for entry in machine.ruu.entries:
-            timeline = self._timeline_for(entry.dyn)
-            if timeline.fetch < 0:
-                timeline.fetch = entry.dyn.fetch_cycle
+                timeline.fetch = event.cycle
+            return
+        if kind in ("icache_miss", "mispredict_recover"):
+            return
+        timeline = self._timeline_for(event.seq)
+        if kind == "dispatch":
             if timeline.dispatch < 0:
-                timeline.dispatch = entry.dispatch_cycle
-            if entry.issued and timeline.issue < 0:
-                timeline.issue = entry.issue_cycle
-            if entry.completed and timeline.complete < 0:
-                timeline.complete = entry.complete_cycle
+                timeline.dispatch = event.cycle
+        elif kind == "issue":
+            if timeline.issue < 0:
+                timeline.issue = event.cycle
+        elif kind == "complete":
+            if timeline.complete < 0:
+                timeline.complete = event.cycle
+        elif kind == "commit":
+            timeline.commit = event.cycle
+        elif kind == "squash":
+            timeline.squashed = True
 
-        # Commits this cycle: entries that left the RUU head in order.
-        committed_now = machine.stats.committed - before_commit
-        if committed_now:
-            for seq in head_seqs[:committed_now]:
-                entry = ruu_before[seq]
-                timeline = self._timeline_for(entry.dyn)
-                if entry.issued and timeline.issue < 0:
-                    timeline.issue = entry.issue_cycle
-                if timeline.complete < 0:
-                    timeline.complete = entry.complete_cycle
-                timeline.commit = cycle
-
-        # Squashes: entries that vanished without committing.
-        surviving = {entry.seq for entry in machine.ruu.entries}
-        for seq, entry in ruu_before.items():
-            if (seq not in surviving
-                    and seq not in head_seqs[:committed_now]):
-                self._timeline_for(entry.dyn).squashed = True
-
-    def _timeline_for(self, dyn) -> InstructionTimeline:
-        timeline = self.timelines.get(dyn.seq)
+    def _timeline_for(self, seq: int, text: str = "?",
+                      spec: bool = False) -> InstructionTimeline:
+        timeline = self.timelines.get(seq)
         if timeline is None:
-            timeline = InstructionTimeline(seq=dyn.seq, text=str(dyn.inst),
-                                           spec=dyn.spec)
-            self.timelines[dyn.seq] = timeline
+            timeline = InstructionTimeline(seq=seq, text=text, spec=spec)
+            self.timelines[seq] = timeline
         return timeline
 
     def committed(self) -> list[InstructionTimeline]:

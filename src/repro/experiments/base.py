@@ -6,12 +6,23 @@ its initialization (Section 3.2's warmup), then run the detailed
 simulator to completion.  Results are memoized per (workload, config,
 scale) within the process so that e.g. Figure 6 and Figure 7 — which
 share the same baseline runs — do not pay for simulation twice.
+
+When an observability directory is set (:func:`set_obs_dir`, surfaced
+as ``repro-experiments --obs-out DIR``), every *fresh* simulation also
+runs with the interval sampler and stall attribution attached and
+leaves a JSON run manifest in that directory — so regenerating a figure
+doubles as producing a machine-readable regression artifact.
 """
 
 from __future__ import annotations
 
+import hashlib
+from pathlib import Path
+
 from repro.core.config import BASELINE, MachineConfig
 from repro.core.machine import Machine, RunResult
+from repro.obs.export import build_manifest, write_manifest
+from repro.obs.sampler import IntervalSampler
 from repro.workloads.registry import (
     MEDIABENCH,
     SPECINT95,
@@ -29,6 +40,20 @@ ALL_ORDER = SPEC_ORDER + MEDIA_ORDER
 
 _CACHE: dict[tuple, RunResult] = {}
 
+_OBS_DIR: Path | None = None
+
+
+def set_obs_dir(path: str | Path | None) -> None:
+    """Direct every fresh :func:`run_workload` simulation to leave an
+    obs run manifest under ``path`` (None disables)."""
+    global _OBS_DIR
+    _OBS_DIR = Path(path) if path is not None else None
+
+
+def _config_tag(config: MachineConfig) -> str:
+    """Short stable tag distinguishing configurations in filenames."""
+    return hashlib.sha1(repr(config).encode()).hexdigest()[:10]
+
 
 def run_workload(name: str, config: MachineConfig = BASELINE,
                  scale: int = 1, use_cache: bool = True) -> RunResult:
@@ -39,8 +64,20 @@ def run_workload(name: str, config: MachineConfig = BASELINE,
         return _CACHE[key]
     workload = get_workload(name)
     machine = Machine(workload.build(scale), config)
+    sampler = None
+    if _OBS_DIR is not None:
+        sampler = IntervalSampler(window=config.obs.sampler_window)
+        machine.add_probe(sampler)
+        machine.enable_stall_attribution()
     machine.fast_forward(resolve_warmup(workload, scale))
     result = machine.run(max_insts=workload.window)
+    if sampler is not None:
+        sampler.finish(machine)
+        manifest = build_manifest(
+            result, attribution=machine.attribution, sampler=sampler,
+            workload=name, scale=scale)
+        write_manifest(_OBS_DIR, manifest,
+                       stem=f"{name}-{_config_tag(config)}-x{scale}")
     if use_cache:
         _CACHE[key] = result
     return result

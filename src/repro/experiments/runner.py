@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments import base
 from repro.experiments import (
     fig1_cumulative_widths,
     fig2_width_fluctuation,
@@ -72,7 +73,12 @@ def main(argv: list[str] | None = None) -> int:
                              + ", ".join(EXPERIMENTS))
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
+    parser.add_argument("--obs-out", default=None, metavar="DIR",
+                        help="write an observability run manifest "
+                             "(sampler windows + stall attribution) for "
+                             "every fresh simulation into DIR")
     args = parser.parse_args(argv)
+    base.set_obs_dir(args.obs_out)
 
     names = list(args.experiments) or ["all"]
     if names == ["all"] or names == []:
@@ -81,10 +87,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    suite_start = time.time()
     for name in names:
         start = time.time()
         print(EXPERIMENTS[name](args.scale))
         print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    print(f"[{len(names)} experiment(s) in "
+          f"{time.time() - suite_start:.1f}s total]")
+    if args.obs_out:
+        print(f"[obs manifests in {args.obs_out}]")
     return 0
 
 

@@ -1,0 +1,78 @@
+"""Observability: pipeline events, interval sampling, CPI attribution,
+and machine-readable run artifacts.
+
+Three layers on top of the timing machine:
+
+* **Event bus** (:mod:`repro.obs.events`) — the machine emits typed
+  pipeline events through a subscriber list that costs nothing when
+  empty; :class:`EventRecorder` captures traces and
+  :class:`~repro.core.trace.PipelineTracer` is a subscriber.
+* **Sampling + attribution** (:mod:`repro.obs.sampler`,
+  :mod:`repro.obs.attribution`) — per-window time series and a
+  top-down CPI accountant whose slot breakdown provably sums to
+  ``issue_width × cycles``.
+* **Export** (:mod:`repro.obs.export`, :mod:`repro.obs.cli`) — JSONL
+  trace/series writers and a versioned run manifest, surfaced as the
+  ``repro-obs`` console command and ``repro-experiments --obs-out``.
+"""
+
+from repro.obs.attribution import STALL_KINDS, StallAttribution
+from repro.obs.events import (
+    EVENT_KINDS,
+    CommitEvent,
+    CompleteEvent,
+    DispatchEvent,
+    Event,
+    EventRecorder,
+    FetchEvent,
+    ICacheMissEvent,
+    IssueEvent,
+    MispredictRecoverEvent,
+    PackJoinEvent,
+    ReplayTrapEvent,
+    SquashEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.export import (
+    SCHEMA,
+    build_manifest,
+    read_jsonl,
+    read_manifest,
+    write_events_jsonl,
+    write_jsonl,
+    write_manifest,
+    write_windows_jsonl,
+)
+from repro.obs.sampler import IntervalSampler, Window, window_from_dict
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA",
+    "STALL_KINDS",
+    "CommitEvent",
+    "CompleteEvent",
+    "DispatchEvent",
+    "Event",
+    "EventRecorder",
+    "FetchEvent",
+    "ICacheMissEvent",
+    "IntervalSampler",
+    "IssueEvent",
+    "MispredictRecoverEvent",
+    "PackJoinEvent",
+    "ReplayTrapEvent",
+    "SquashEvent",
+    "StallAttribution",
+    "Window",
+    "build_manifest",
+    "event_from_dict",
+    "event_to_dict",
+    "read_jsonl",
+    "read_manifest",
+    "window_from_dict",
+    "write_events_jsonl",
+    "write_jsonl",
+    "write_manifest",
+    "write_windows_jsonl",
+]

@@ -1,0 +1,135 @@
+"""Top-down CPI stall attribution.
+
+Every cycle the machine has ``issue_width`` issue slots.  When stall
+attribution is enabled (:meth:`~repro.core.machine.Machine.
+enable_stall_attribution`), the issue stage classifies each *unused*
+slot into exactly one cause:
+
+* ``frontend``   — the RUU held no unissued work at all: fetch/dispatch
+  starved the window (empty-RUU / fetch-stall, including I-cache miss
+  stalls);
+* ``deps``       — unissued work existed but none of it was ready:
+  waiting on producers (including in-flight loads), on same-cycle
+  dispatch latency, or on a replay re-issue window;
+* ``structural_alu`` / ``structural_mult`` — a ready instruction was
+  denied only because the ALUs / the multiplier were exhausted;
+* ``recovery``   — no work was available because fetch is serving a
+  misprediction-recovery redirect (Table 1's penalty window).
+
+Used slots are counted in ``used``; packed joins ride in a leader's
+slot and consume none.  By construction the six buckets partition the
+slot supply, so the accountant can *prove* the conservation law
+
+    used + frontend + deps + structural_alu + structural_mult
+        + recovery  ==  issue_width × cycles
+
+via :meth:`StallAttribution.check` — the test suite and the run
+manifest both assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Stall bucket names, in reporting order.
+STALL_KINDS = ("frontend", "deps", "structural_alu", "structural_mult",
+               "recovery")
+
+
+@dataclass
+class StallAttribution:
+    """Per-slot issue accounting accumulated over a run."""
+
+    issue_width: int
+    cycles: int = 0
+    used: int = 0
+    frontend: int = 0
+    deps: int = 0
+    structural_alu: int = 0
+    structural_mult: int = 0
+    recovery: int = 0
+
+    # ------------------------------------------------------------ recording
+
+    def account_cycle(self, used: int, unused: int, n_struct_alu: int,
+                      n_struct_mult: int, blocked: bool,
+                      in_recovery: bool) -> None:
+        """Attribute one cycle's issue slots (called by the machine).
+
+        ``n_struct_alu`` / ``n_struct_mult`` count ready instructions
+        denied a functional unit this cycle; ``blocked`` is whether any
+        unissued-but-not-ready work existed; ``in_recovery`` is whether
+        fetch is stalled on a misprediction redirect.
+        """
+        self.cycles += 1
+        self.used += used
+        if not unused:
+            return
+        take = min(unused, n_struct_alu)
+        self.structural_alu += take
+        unused -= take
+        take = min(unused, n_struct_mult)
+        self.structural_mult += take
+        unused -= take
+        if not unused:
+            return
+        if blocked:
+            self.deps += unused
+        elif in_recovery:
+            self.recovery += unused
+        else:
+            self.frontend += unused
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def total_slots(self) -> int:
+        """All slots accounted for: used plus every stall bucket."""
+        return (self.used + self.frontend + self.deps
+                + self.structural_alu + self.structural_mult
+                + self.recovery)
+
+    def check(self) -> bool:
+        """Prove slot conservation; raises ``AssertionError`` if the
+        breakdown does not sum to ``issue_width × cycles``."""
+        expected = self.issue_width * self.cycles
+        if self.total_slots != expected:
+            raise AssertionError(
+                f"stall attribution leaked slots: {self.total_slots} "
+                f"accounted vs {expected} supplied "
+                f"({self.issue_width} x {self.cycles})")
+        return True
+
+    def fractions(self) -> dict[str, float]:
+        """Each bucket (and ``used``) as a fraction of all slots."""
+        total = self.total_slots
+        if not total:
+            return {}
+        out = {"used": self.used / total}
+        for kind in STALL_KINDS:
+            out[kind] = getattr(self, kind) / total
+        return out
+
+    def cpi_breakdown(self, committed: int) -> dict[str, float]:
+        """Split CPI by slot bucket: each bucket's slot share times the
+        run's CPI, so the parts sum to cycles / committed."""
+        if not committed or not self.cycles:
+            return {}
+        cpi = self.cycles / committed
+        return {kind: frac * cpi
+                for kind, frac in self.fractions().items()}
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (conservation already checked)."""
+        self.check()
+        return {
+            "issue_width": self.issue_width,
+            "cycles": self.cycles,
+            "slots_total": self.total_slots,
+            "used": self.used,
+            "frontend": self.frontend,
+            "deps": self.deps,
+            "structural_alu": self.structural_alu,
+            "structural_mult": self.structural_mult,
+            "recovery": self.recovery,
+        }

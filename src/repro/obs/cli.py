@@ -1,0 +1,149 @@
+"""``repro-obs``: run one workload with full observability attached.
+
+Runs a registered benchmark under the paper's methodology (fast-forward
+warmup, then detailed simulation), with the interval sampler, stall
+attribution, and — optionally — the raw event trace enabled, and writes
+the machine-readable artifacts to an output directory::
+
+    repro-obs go --packing --out obs/go-packed
+    repro-obs gsm-encode --window 500 --events --out obs/gsm
+
+The console summary prints the headline counters, the top-down CPI
+breakdown (with its slot-conservation proof), and the artifact paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.obs.events import EventRecorder
+from repro.obs.export import (
+    build_manifest,
+    write_events_jsonl,
+    write_manifest,
+    write_windows_jsonl,
+)
+from repro.obs.sampler import IntervalSampler
+from repro.workloads.registry import all_workloads, get_workload, resolve_warmup
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Run one benchmark with observability attached and "
+                    "export JSONL artifacts.")
+    parser.add_argument("workload", nargs="?",
+                        help="registered workload name (e.g. go, ijpeg, "
+                             "gsm-encode); see --list")
+    parser.add_argument("--list", action="store_true", dest="list_workloads",
+                        help="list registered workloads and exit")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--packing", action="store_true",
+                        help="enable operation packing (paper Section 5)")
+    parser.add_argument("--replay", action="store_true",
+                        help="enable replay packing (implies --packing)")
+    parser.add_argument("--predictor", default=None,
+                        help="branch predictor kind (default: Table 1's "
+                             "combining predictor)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="sampler window in cycles (default: the "
+                             "config's obs.sampler_window)")
+    parser.add_argument("--events", action="store_true",
+                        help="also record and export the raw event trace")
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="cap on recorded events (default: the "
+                             "config's obs.max_events)")
+    parser.add_argument("--max-insts", type=int, default=None,
+                        help="override the workload's detailed-simulation "
+                             "window (committed instructions)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="output directory (default: "
+                             "obs-out/<workload>)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_workloads:
+        for workload in sorted(all_workloads(), key=lambda w: w.name):
+            print(f"{workload.name:16s} [{workload.suite}] "
+                  f"{workload.description}")
+        return 0
+
+    if args.workload is None:
+        parser.error("workload is required (use --list to enumerate)")
+    if args.window is not None and args.window < 1:
+        parser.error("--window must be >= 1 cycle")
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        parser.error(f"unknown workload {args.workload!r} "
+                     f"(use --list to enumerate)")
+
+    config = BASELINE
+    if args.packing or args.replay:
+        config = config.with_packing(replay=args.replay)
+    if args.predictor:
+        config = config.with_predictor(args.predictor)
+    window = args.window or config.obs.sampler_window
+    max_events = args.max_events or config.obs.max_events
+    out_dir = args.out or f"obs-out/{workload.name}"
+
+    machine = Machine(workload.build(args.scale), config)
+    sampler = IntervalSampler(window=window)
+    machine.add_probe(sampler)
+    attribution = machine.enable_stall_attribution()
+    recorder = None
+    if args.events:
+        recorder = EventRecorder(limit=max_events)
+        machine.subscribe(recorder)
+
+    start = time.time()
+    machine.fast_forward(resolve_warmup(workload, args.scale))
+    result = machine.run(max_insts=args.max_insts or workload.window)
+    elapsed = time.time() - start
+    sampler.finish(machine)
+
+    manifest = build_manifest(
+        result, attribution=attribution, sampler=sampler,
+        workload=workload.name, scale=args.scale,
+        extra={"wall_seconds": elapsed, "sampler_window": window})
+    paths = write_manifest(out_dir, manifest)
+    written = [paths["json"], paths["jsonl"]]
+    windows_path = paths["json"].parent / "windows.jsonl"
+    write_windows_jsonl(windows_path, sampler.windows)
+    written.append(windows_path)
+    if recorder is not None:
+        events_path = paths["json"].parent / "events.jsonl"
+        write_events_jsonl(events_path, recorder.events)
+        written.append(events_path)
+
+    stats = result.stats
+    print(f"{workload.name}: {stats.committed} committed / "
+          f"{stats.cycles} cycles = {stats.ipc:.3f} IPC "
+          f"({elapsed:.1f}s wall)")
+    attribution.check()
+    slots = attribution.as_dict()
+    print(f"slot conservation: {slots['slots_total']} slots "
+          f"== {slots['issue_width']} wide x {slots['cycles']} cycles")
+    for kind, cpi in attribution.cpi_breakdown(stats.committed).items():
+        print(f"  cpi[{kind:>15s}] = {cpi:.4f}")
+    print(f"windows: {len(sampler.windows)} x {window} cycles")
+    if recorder is not None:
+        note = f" (+{recorder.dropped} dropped)" if recorder.dropped else ""
+        print(f"events: {len(recorder.events)} recorded{note}")
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Typed pipeline events emitted by the machine's event bus.
+
+The :class:`~repro.core.machine.Machine` owns a plain subscriber list
+and emits one event object per pipeline happening — fetch, I-cache
+miss, dispatch, issue, pack join, replay trap, misprediction recovery,
+completion, commit, squash.  Emission is guarded behind
+``if self._subscribers:`` so that with no subscribers attached *no
+event object is ever allocated*: the bus costs one truthiness check per
+emission site, nothing more.
+
+Every event is a small frozen dataclass carrying only JSON-friendly
+scalars (ints, bools, strings), so the export layer can serialize any
+event with :func:`event_to_dict` and consumers never need to hold
+references into live machine state.
+
+This module deliberately imports nothing from :mod:`repro.core` — the
+core imports *us*, and the dependency must stay one-way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class: every pipeline event happens at one machine cycle."""
+
+    kind: ClassVar[str] = "event"
+    cycle: int
+
+
+@dataclass(frozen=True, slots=True)
+class FetchEvent(Event):
+    """An instruction arrived from the I-cache into the fetch queue.
+
+    ``cycle`` is the arrival cycle — for an I-cache miss this is the
+    fill-completion cycle, not the cycle the request was made.
+    """
+
+    kind: ClassVar[str] = "fetch"
+    seq: int
+    pc: int
+    spec: bool      # fetched down a mispredicted (wrong) path
+    text: str       # disassembly of the static instruction
+
+
+@dataclass(frozen=True, slots=True)
+class ICacheMissEvent(Event):
+    """An instruction fetch missed in the L1 I-cache."""
+
+    kind: ClassVar[str] = "icache_miss"
+    pc: int
+    latency: int    # total fill latency in cycles
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchEvent(Event):
+    """An instruction was renamed into the RUU/LSQ."""
+
+    kind: ClassVar[str] = "dispatch"
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class IssueEvent(Event):
+    """An instruction began execution on a functional unit."""
+
+    kind: ClassVar[str] = "issue"
+    seq: int
+    packed: bool = False    # issued inside a multi-op ALU pack
+    replay: bool = False    # speculatively packed with one wide operand
+
+
+@dataclass(frozen=True, slots=True)
+class PackJoinEvent(Event):
+    """An instruction joined an open ALU pack (paper Section 5)."""
+
+    kind: ClassVar[str] = "pack_join"
+    seq: int
+    leader_seq: int     # the instruction that opened the pack
+    size: int           # pack size after this join
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayTrapEvent(Event):
+    """A speculatively packed op overflowed and must re-issue full
+    width (paper Section 5.3)."""
+
+    kind: ClassVar[str] = "replay_trap"
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class MispredictRecoverEvent(Event):
+    """A mispredicted branch resolved: wrong path squashed, fetch
+    redirected."""
+
+    kind: ClassVar[str] = "mispredict_recover"
+    seq: int            # the mispredicted branch
+    resume_cycle: int   # cycle at which fetch restarts
+
+
+@dataclass(frozen=True, slots=True)
+class CompleteEvent(Event):
+    """An instruction finished execution (result available)."""
+
+    kind: ClassVar[str] = "complete"
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class CommitEvent(Event):
+    """An instruction retired in order."""
+
+    kind: ClassVar[str] = "commit"
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class SquashEvent(Event):
+    """An in-flight instruction was discarded without committing."""
+
+    kind: ClassVar[str] = "squash"
+    seq: int
+
+
+#: Every concrete event type, keyed by its ``kind`` tag.
+EVENT_KINDS: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (FetchEvent, ICacheMissEvent, DispatchEvent, IssueEvent,
+                PackJoinEvent, ReplayTrapEvent, MispredictRecoverEvent,
+                CompleteEvent, CommitEvent, SquashEvent)
+}
+
+#: Signature of a bus subscriber.
+Subscriber = Callable[[Event], None]
+
+
+def event_to_dict(event: Event) -> dict:
+    """Flatten an event to a JSON-serializable dict (``kind`` first)."""
+    record: dict = {"kind": event.kind}
+    for f in fields(event):
+        record[f.name] = getattr(event, f.name)
+    return record
+
+
+def event_from_dict(record: dict) -> Event:
+    """Rebuild a typed event from :func:`event_to_dict` output."""
+    cls = EVENT_KINDS[record["kind"]]
+    kwargs = {f.name: record[f.name] for f in fields(cls)}
+    return cls(**kwargs)
+
+
+class EventRecorder:
+    """A bus subscriber that stores events in arrival order.
+
+    ``limit`` bounds memory on long runs: once reached, further events
+    are counted in :attr:`dropped` but not stored.
+    """
+
+    def __init__(self, limit: int | None = None,
+                 kinds: tuple[str, ...] | None = None) -> None:
+        self.events: list[Event] = []
+        self.limit = limit
+        self.kinds = frozenset(kinds) if kinds else None
+        self.dropped = 0
+
+    def __call__(self, event: Event) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Recorded events of one kind, in arrival order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def by_seq(self, kind: str) -> dict[int, Event]:
+        """First recorded event of ``kind`` per instruction seq."""
+        out: dict[int, Event] = {}
+        for event in self.events:
+            if event.kind == kind and event.seq not in out:
+                out[event.seq] = event
+        return out

@@ -1,0 +1,132 @@
+"""Machine-readable run artifacts: JSONL writers and the run manifest.
+
+Every observed run can leave behind a directory of artifacts:
+
+* ``manifest.json``  — one JSON object: configuration, end-of-run
+  counters, power report, stall attribution, and the sampled windows;
+* ``manifest.jsonl`` — the same content as typed records, one JSON
+  object per line (``{"record": "config" | "stats" | "power" |
+  "attribution" | "window", ...}``), for streaming consumers;
+* ``windows.jsonl``  — the interval-sampler series, one window per line;
+* ``events.jsonl``   — the raw pipeline event trace, one event per line
+  (optional; event traces are large).
+
+:func:`read_jsonl` round-trips any of these files.  The manifest schema
+is versioned via the ``schema`` key so downstream regression tooling
+can evolve safely.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.attribution import StallAttribution
+from repro.obs.events import Event, event_to_dict
+from repro.obs.sampler import IntervalSampler, Window
+
+#: Manifest schema identifier (bump on breaking layout changes).
+SCHEMA = "repro-obs/1"
+
+
+# ------------------------------------------------------------------ JSONL
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write one JSON object per line; returns the record count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL file back into a list of dicts (blank lines skipped)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_events_jsonl(path: str | Path,
+                       events: Iterable[Event]) -> int:
+    """Serialize a pipeline event trace, one event per line."""
+    return write_jsonl(path, (event_to_dict(e) for e in events))
+
+
+def write_windows_jsonl(path: str | Path,
+                        windows: Iterable[Window]) -> int:
+    """Serialize an interval-sampler series, one window per line."""
+    return write_jsonl(path, (w.as_dict() for w in windows))
+
+
+# --------------------------------------------------------------- manifest
+
+def build_manifest(result, *,
+                   attribution: StallAttribution | None = None,
+                   sampler: IntervalSampler | None = None,
+                   workload: str | None = None,
+                   scale: int | None = None,
+                   extra: dict | None = None) -> dict:
+    """Assemble the run manifest from a
+    :class:`~repro.core.machine.RunResult` plus optional obs layers."""
+    manifest: dict = {
+        "schema": SCHEMA,
+        "name": result.name,
+        "workload": workload if workload is not None else result.name,
+        "scale": scale,
+        "config": asdict(result.config),
+        "stats": result.stats.as_dict(),
+        "power": result.power.as_dict() if result.power else None,
+        "attribution": attribution.as_dict() if attribution else None,
+        "windows": ([w.as_dict() for w in sampler.windows]
+                    if sampler else None),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_records(manifest: dict) -> Iterable[dict]:
+    """Flatten a manifest into typed JSONL records (one per line)."""
+    head = {k: manifest[k] for k in ("schema", "name", "workload", "scale")}
+    yield {"record": "run", **head}
+    yield {"record": "config", "config": manifest["config"]}
+    yield {"record": "stats", "stats": manifest["stats"]}
+    if manifest.get("power") is not None:
+        yield {"record": "power", "power": manifest["power"]}
+    if manifest.get("attribution") is not None:
+        yield {"record": "attribution",
+               "attribution": manifest["attribution"]}
+    for window in manifest.get("windows") or ():
+        yield {"record": "window", **window}
+
+
+def write_manifest(out_dir: str | Path, manifest: dict,
+                   stem: str = "manifest") -> dict[str, Path]:
+    """Write ``<stem>.json`` and ``<stem>.jsonl`` under ``out_dir``.
+
+    Returns the paths written, keyed ``"json"`` / ``"jsonl"``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / f"{stem}.json"
+    json_path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                         + "\n", encoding="utf-8")
+    jsonl_path = out / f"{stem}.jsonl"
+    write_jsonl(jsonl_path, manifest_records(manifest))
+    return {"json": json_path, "jsonl": jsonl_path}
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Load a ``manifest.json`` produced by :func:`write_manifest`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

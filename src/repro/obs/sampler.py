@@ -1,0 +1,175 @@
+"""Interval sampling: per-window time series of a running machine.
+
+An :class:`IntervalSampler` is a per-cycle probe (attached with
+:meth:`~repro.core.machine.Machine.add_probe`) that slices the run into
+fixed-width cycle windows and records, for each window, the quantities
+the paper plots over time: IPC, structure occupancies, the narrow-op
+and packed-op fractions, and gated integer-unit power.  The resulting
+series is the machine-readable backbone of regression tracking — two
+runs of the same workload can be diffed window by window.
+
+Windows tile the run exactly: ``sum(w.cycles) == stats.cycles`` and
+``sum(w.committed) == stats.committed`` once :meth:`finish` flushes the
+final partial window.
+
+The module is duck-typed against the machine (it reads ``stats``,
+``ruu``, ``fetch_queue``, ``widths``, ``accountant``) and imports
+nothing from :mod:`repro.core`, keeping the obs → core dependency
+one-way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cut point for the "narrow fraction" column (the paper's 16-bit line).
+NARROW_CUT = 16
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """One sampled interval of the run."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int          # exclusive
+    cycles: int
+    committed: int
+    issued: int
+    ipc: float
+    ruu_occupancy: float    # mean entries over the window
+    lsq_occupancy: float
+    fetchq_occupancy: float
+    narrow16_frac: float    # width-tracked ops with both operands <= 16 bits
+    packed_frac: float      # issued ops that rode in an ALU pack
+    gated_mw: float         # mean gated integer-unit power (mW/cycle)
+    mispredicts: int
+    replay_traps: int
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "issued": self.issued,
+            "ipc": self.ipc,
+            "ruu_occupancy": self.ruu_occupancy,
+            "lsq_occupancy": self.lsq_occupancy,
+            "fetchq_occupancy": self.fetchq_occupancy,
+            "narrow16_frac": self.narrow16_frac,
+            "packed_frac": self.packed_frac,
+            "gated_mw": self.gated_mw,
+            "mispredicts": self.mispredicts,
+            "replay_traps": self.replay_traps,
+        }
+
+
+def window_from_dict(record: dict) -> Window:
+    """Rebuild a :class:`Window` from :meth:`Window.as_dict` output."""
+    return Window(**{k: record[k] for k in Window.__slots__})
+
+
+class _Snapshot:
+    """Machine counters captured at a window boundary."""
+
+    __slots__ = ("cycles", "committed", "issued", "packed_ops",
+                 "mispredicts", "replay_traps", "gated_total",
+                 "narrow16", "width_total")
+
+    def __init__(self, machine) -> None:
+        stats = machine.stats
+        self.cycles = stats.cycles
+        self.committed = stats.committed
+        self.issued = stats.issued
+        self.packed_ops = stats.packed_ops
+        self.mispredicts = stats.mispredicts
+        self.replay_traps = stats.replay_traps
+        self.gated_total = machine.accountant.gated_total
+        self.narrow16 = machine.widths.count_at_most(NARROW_CUT)
+        self.width_total = machine.widths.total
+
+
+class IntervalSampler:
+    """Per-cycle probe recording fixed-width windows of machine state."""
+
+    def __init__(self, window: int = 1000) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1 cycle")
+        self.window = window
+        self.windows: list[Window] = []
+        self._snapshot: _Snapshot | None = None
+        self._cycles_in_window = 0
+        self._ruu_sum = 0
+        self._lsq_sum = 0
+        self._fetchq_sum = 0
+
+    # ----------------------------------------------------------- probe hook
+
+    def on_cycle(self, machine) -> None:
+        """Called by the machine at the end of every simulated cycle."""
+        if self._snapshot is None:
+            # First observed cycle: baseline the counters at the state
+            # *before* this cycle (stats.cycles already includes it).
+            self._snapshot = _Snapshot(machine)
+            self._snapshot.cycles -= 1
+        self._ruu_sum += len(machine.ruu.entries)
+        self._lsq_sum += machine.ruu.lsq_used
+        self._fetchq_sum += len(machine.fetch_queue)
+        self._cycles_in_window += 1
+        if self._cycles_in_window >= self.window:
+            self._flush(machine)
+
+    def finish(self, machine) -> list[Window]:
+        """Flush the trailing partial window; returns all windows."""
+        if self._cycles_in_window:
+            self._flush(machine)
+        return self.windows
+
+    # -------------------------------------------------------------- flushing
+
+    def _flush(self, machine) -> None:
+        prev = self._snapshot
+        now = _Snapshot(machine)
+        # The snapshot is taken mid-cycle bookkeeping-wise: correct the
+        # cycle count to cover exactly the cycles we observed.
+        now.cycles = prev.cycles + self._cycles_in_window
+        cycles = self._cycles_in_window
+        committed = now.committed - prev.committed
+        issued = now.issued - prev.issued
+        width_delta = now.width_total - prev.width_total
+        self.windows.append(Window(
+            index=len(self.windows),
+            start_cycle=prev.cycles,
+            end_cycle=now.cycles,
+            cycles=cycles,
+            committed=committed,
+            issued=issued,
+            ipc=committed / cycles,
+            ruu_occupancy=self._ruu_sum / cycles,
+            lsq_occupancy=self._lsq_sum / cycles,
+            fetchq_occupancy=self._fetchq_sum / cycles,
+            narrow16_frac=((now.narrow16 - prev.narrow16) / width_delta
+                           if width_delta else 0.0),
+            packed_frac=((now.packed_ops - prev.packed_ops) / issued
+                         if issued else 0.0),
+            gated_mw=(now.gated_total - prev.gated_total) / cycles,
+            mispredicts=now.mispredicts - prev.mispredicts,
+            replay_traps=now.replay_traps - prev.replay_traps,
+        ))
+        self._snapshot = now
+        self._cycles_in_window = 0
+        self._ruu_sum = 0
+        self._lsq_sum = 0
+        self._fetchq_sum = 0
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(w.cycles for w in self.windows)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(w.committed for w in self.windows)

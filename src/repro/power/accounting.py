@@ -70,6 +70,25 @@ class PowerReport:
             return 0.0
         return 100.0 * self.load_dependent_gated / gated
 
+    def as_dict(self) -> dict:
+        """JSON-friendly report including the derived figures
+        (consumed by the obs run manifest)."""
+        return {
+            "cycles": self.cycles,
+            "baseline_mw": self.baseline,
+            "gated_mw": self.gated,
+            "saved16_mw": self.saved16,
+            "saved33_mw": self.saved33,
+            "overhead_mw": self.overhead,
+            "net_saved_mw": self.net_saved,
+            "reduction_pct": self.reduction_pct,
+            "ops_total": self.ops_total,
+            "ops_gated16": self.ops_gated16,
+            "ops_gated33": self.ops_gated33,
+            "load_dependent_gated": self.load_dependent_gated,
+            "load_dependent_pct": self.load_dependent_pct,
+        }
+
 
 @dataclass
 class PowerAccountant:

@@ -49,6 +49,28 @@ class CoreStats:
     def count_class(self, name: str) -> None:
         self.class_mix[name] = self.class_mix.get(name, 0) + 1
 
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot of every counter plus the derived
+        rates (consumed by the obs run manifest)."""
+        return {
+            "cycles": self.cycles,
+            "fetched": self.fetched,
+            "dispatched": self.dispatched,
+            "issued": self.issued,
+            "completed": self.completed,
+            "committed": self.committed,
+            "branches_committed": self.branches_committed,
+            "cond_branches_committed": self.cond_branches_committed,
+            "mispredicts": self.mispredicts,
+            "packed_ops": self.packed_ops,
+            "pack_groups": self.pack_groups,
+            "replay_packed_ops": self.replay_packed_ops,
+            "replay_traps": self.replay_traps,
+            "class_mix": dict(self.class_mix),
+            "ipc": self.ipc,
+            "branch_accuracy": self.branch_accuracy,
+        }
+
 
 def speedup_pct(baseline_cycles: int, optimized_cycles: int) -> float:
     """Percent speedup of an optimized run over a baseline run of the

@@ -1,0 +1,186 @@
+"""Stall-attribution tests: the slot-conservation law on workloads
+with packing, replay traps, mispredictions, and structural hazards."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.memory.hierarchy import HierarchyConfig
+from repro.obs.attribution import STALL_KINDS, StallAttribution
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def narrow_ilp_program(n=60) -> Assembler:
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.label("loop")
+    asm.op("addq", "t0", "t0", 1)
+    asm.op("addq", "t1", "t1", 2)
+    asm.op("addq", "t2", "t2", 3)
+    asm.op("addq", "t3", "t3", 4)
+    asm.op("addq", "t4", "t4", 5)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def replay_trap_program(iters=300) -> Assembler:
+    """Wide pointer adds near a 16-bit carry edge: replay packing
+    speculates and must trap at least once (cf. test_packing)."""
+    asm = Assembler("replay")
+    standard_prologue(asm)
+    buf = asm.alloc("buf", 8 * 4096)
+    asm.li("s0", buf + 0xFFF8)
+    asm.clr("s2")
+    asm.li("s1", iters)
+    asm.label("loop")
+    asm.op("addq", "s2", "s2", 1)
+    asm.op("addq", "s0", "s0", 8)
+    asm.op("subq", "s1", "s1", 1)
+    asm.br("bne", "s1", "loop")
+    asm.halt()
+    return asm
+
+
+def serial_chain_program(n=100) -> Assembler:
+    """A pure dependence chain: almost every slot stalls on deps."""
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.label("loop")
+    asm.op("addq", "s1", "s1", 1)
+    asm.op("addq", "s1", "s1", 1)
+    asm.op("addq", "s1", "s1", 1)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def mult_pressure_program(n=80) -> Assembler:
+    """Independent multiplies against one multiplier: structural
+    stalls on the INT_MULT unit."""
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.li("t5", 3)
+    asm.label("loop")
+    asm.op("mulq", "t0", "t5", 5)
+    asm.op("mulq", "t1", "t5", 7)
+    asm.op("mulq", "t2", "t5", 9)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def attributed_run(asm: Assembler, config=FAST) -> Machine:
+    machine = Machine(asm.assemble(), config)
+    machine.enable_stall_attribution()
+    machine.run()
+    assert machine.done
+    return machine
+
+
+def assert_conserved(machine: Machine) -> StallAttribution:
+    attribution = machine.attribution
+    assert attribution.check()
+    assert attribution.cycles == machine.stats.cycles
+    assert (attribution.total_slots
+            == machine.config.issue_width * machine.stats.cycles)
+    return attribution
+
+
+class TestSlotConservation:
+    def test_conservation_with_packing_enabled(self):
+        machine = attributed_run(narrow_ilp_program(),
+                                 FAST.with_packing())
+        assert machine.stats.pack_groups > 0
+        assert_conserved(machine)
+
+    def test_conservation_with_replay_traps_firing(self):
+        machine = attributed_run(replay_trap_program(),
+                                 FAST.with_packing(replay=True))
+        assert machine.stats.replay_traps >= 1
+        assert_conserved(machine)
+
+    def test_conservation_on_realistic_hierarchy(self):
+        machine = attributed_run(narrow_ilp_program(), BASELINE)
+        assert_conserved(machine)
+
+    def test_packed_joins_do_not_leak_slots(self):
+        # Packed followers issue without consuming a slot; the used
+        # counter must still never exceed the supply.
+        machine = attributed_run(narrow_ilp_program(),
+                                 FAST.with_packing())
+        attribution = machine.attribution
+        assert machine.stats.issued > attribution.used
+        assert attribution.used <= (machine.config.issue_width
+                                    * attribution.cycles)
+
+
+class TestClassification:
+    def test_deps_dominate_a_serial_chain(self):
+        attribution = assert_conserved(
+            attributed_run(serial_chain_program()))
+        fractions = attribution.fractions()
+        assert fractions["deps"] > fractions["frontend"]
+        assert fractions["deps"] > 0.3
+
+    def test_structural_mult_stalls_counted(self):
+        attribution = assert_conserved(
+            attributed_run(mult_pressure_program()))
+        assert attribution.structural_mult > 0
+
+    def test_recovery_slots_after_mispredicts(self):
+        # The wide loop drains fast, so the loop-exit mispredict leaves
+        # an empty window during the redirect: recovery slots appear.
+        # (A serial chain instead keeps unready work in the window, and
+        # those same cycles correctly classify as deps.)
+        machine = attributed_run(narrow_ilp_program())
+        assert machine.stats.mispredicts > 0
+        attribution = assert_conserved(machine)
+        assert attribution.recovery > 0
+
+    def test_frontend_covers_an_empty_window(self):
+        # With an I-cache that cold-misses, the window drains while
+        # fetch waits on fills: frontend slots must appear.
+        attribution = assert_conserved(
+            attributed_run(narrow_ilp_program(), BASELINE))
+        assert attribution.frontend > 0
+
+
+class TestReporting:
+    def test_cpi_breakdown_sums_to_cpi(self):
+        machine = attributed_run(narrow_ilp_program())
+        attribution = machine.attribution
+        breakdown = attribution.cpi_breakdown(machine.stats.committed)
+        cpi = machine.stats.cycles / machine.stats.committed
+        assert abs(sum(breakdown.values()) - cpi) < 1e-9
+        assert set(breakdown) == {"used", *STALL_KINDS}
+
+    def test_as_dict_is_checked_and_complete(self):
+        machine = attributed_run(narrow_ilp_program())
+        record = machine.attribution.as_dict()
+        assert record["slots_total"] == (record["issue_width"]
+                                         * record["cycles"])
+        for kind in STALL_KINDS:
+            assert kind in record
+
+    def test_check_raises_on_leaked_slots(self):
+        broken = StallAttribution(issue_width=4, cycles=10, used=39)
+        try:
+            broken.check()
+        except AssertionError:
+            pass
+        else:
+            raise AssertionError("check() accepted a leaky breakdown")
+
+    def test_enable_is_idempotent(self):
+        machine = Machine(narrow_ilp_program().assemble(), FAST)
+        first = machine.enable_stall_attribution()
+        assert machine.enable_stall_attribution() is first

@@ -1,0 +1,198 @@
+"""Event-bus tests: stage-ordering invariants replayed from events,
+tracer equivalence, and zero-subscriber transparency."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.core.trace import PipelineTracer
+from repro.memory.hierarchy import HierarchyConfig
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventRecorder,
+    event_from_dict,
+    event_to_dict,
+)
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def loop_program(n=20) -> Assembler:
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.clr("s1")
+    asm.label("loop")
+    asm.op("addq", "s1", "s1", "s0")
+    asm.op("xor", "t0", "s1", 3)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def narrow_pair_program(n=40) -> Assembler:
+    """Independent narrow adds: plenty of same-opcode pack fodder."""
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.label("loop")
+    asm.op("addq", "t0", "t0", 1)
+    asm.op("addq", "t1", "t1", 2)
+    asm.op("addq", "t2", "t2", 3)
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def recorded_run(asm: Assembler, config=FAST) -> tuple[Machine, EventRecorder]:
+    machine = Machine(asm.assemble(), config)
+    recorder = EventRecorder()
+    machine.subscribe(recorder)
+    machine.run()
+    assert machine.done
+    return machine, recorder
+
+
+class TestStageOrderingFromEvents:
+    def test_committed_instructions_obey_stage_order(self):
+        machine, recorder = recorded_run(loop_program())
+        fetch = recorder.by_seq("fetch")
+        dispatch = recorder.by_seq("dispatch")
+        issue = recorder.by_seq("issue")
+        complete = recorder.by_seq("complete")
+        commits = recorder.by_seq("commit")
+        assert commits
+        for seq, commit in commits.items():
+            assert fetch[seq].cycle <= dispatch[seq].cycle
+            if seq in issue:
+                assert dispatch[seq].cycle < issue[seq].cycle
+                assert issue[seq].cycle < complete[seq].cycle
+            assert complete[seq].cycle <= commit.cycle
+
+    def test_commit_events_match_counter_and_are_in_order(self):
+        machine, recorder = recorded_run(loop_program())
+        commits = recorder.of_kind("commit")
+        assert len(commits) == machine.stats.committed
+        cycles = [e.cycle for e in commits]
+        assert cycles == sorted(cycles)
+        seqs = [e.seq for e in commits]
+        assert seqs == sorted(seqs)
+
+    def test_squash_and_recovery_events_fire_on_mispredicts(self):
+        machine, recorder = recorded_run(loop_program())
+        assert machine.stats.mispredicts > 0
+        recoveries = recorder.of_kind("mispredict_recover")
+        assert len(recoveries) == machine.stats.mispredicts
+        squashed = {e.seq for e in recorder.of_kind("squash")}
+        committed = {e.seq for e in recorder.of_kind("commit")}
+        assert squashed
+        assert not squashed & committed
+        for event in recoveries:
+            assert event.resume_cycle > event.cycle
+
+    def test_icache_miss_events_on_realistic_hierarchy(self):
+        machine, recorder = recorded_run(loop_program(), config=BASELINE)
+        misses = recorder.of_kind("icache_miss")
+        assert misses   # cold caches: the first fetch must miss
+        for miss in misses:
+            assert miss.latency > machine.config.hierarchy.l1_latency
+
+    def test_pack_join_events_when_packing_enabled(self):
+        machine, recorder = recorded_run(narrow_pair_program(),
+                                         FAST.with_packing())
+        joins = recorder.of_kind("pack_join")
+        assert machine.stats.pack_groups > 0
+        assert joins
+        for join in joins:
+            assert join.size >= 2
+            assert join.leader_seq != join.seq
+        packed_issues = [e for e in recorder.of_kind("issue") if e.packed]
+        assert len(packed_issues) == len(joins)
+
+
+class TestBusMechanics:
+    def test_zero_subscribers_do_not_perturb_timing(self):
+        plain = Machine(loop_program().assemble(), FAST)
+        plain.run()
+        observed = Machine(loop_program().assemble(), FAST)
+        observed.subscribe(EventRecorder())
+        observed.run()
+        assert plain.stats.cycles == observed.stats.cycles
+        assert plain.stats.committed == observed.stats.committed
+        assert plain.stats.issued == observed.stats.issued
+
+    def test_unsubscribe_stops_delivery(self):
+        machine = Machine(loop_program().assemble(), FAST)
+        recorder = EventRecorder()
+        machine.subscribe(recorder)
+        machine.step()
+        seen = len(recorder)
+        machine.unsubscribe(recorder)
+        machine.run()
+        assert len(recorder) == seen
+
+    def test_recorder_limit_counts_dropped(self):
+        machine = Machine(loop_program().assemble(), FAST)
+        recorder = EventRecorder(limit=10)
+        machine.subscribe(recorder)
+        machine.run()
+        assert len(recorder) == 10
+        assert recorder.dropped > 0
+
+    def test_event_dict_round_trip(self):
+        _, recorder = recorded_run(loop_program(), config=BASELINE)
+        kinds_seen = set()
+        for event in recorder.events:
+            rebuilt = event_from_dict(event_to_dict(event))
+            assert rebuilt == event
+            kinds_seen.add(event.kind)
+        assert {"fetch", "dispatch", "issue", "complete", "commit",
+                "icache_miss"} <= kinds_seen <= set(EVENT_KINDS)
+
+
+class TestTracerEquivalence:
+    def test_tracer_timelines_match_raw_event_replay(self):
+        """The rewritten PipelineTracer must be a pure function of the
+        event stream: rebuilding timelines from a raw recording gives
+        identical stage timestamps."""
+        machine = Machine(loop_program().assemble(), FAST)
+        recorder = EventRecorder()
+        machine.subscribe(recorder)
+        tracer = PipelineTracer(machine)
+        tracer.run(max_cycles=50_000)
+        assert machine.done
+
+        first = {}
+        commits = {}
+        squashed = set()
+        for event in recorder.events:
+            if event.kind in ("icache_miss", "mispredict_recover"):
+                continue
+            if event.kind == "commit":
+                commits[event.seq] = event.cycle
+            elif event.kind == "squash":
+                squashed.add(event.seq)
+            else:
+                first.setdefault((event.kind, event.seq), event.cycle)
+
+        assert len(tracer.committed()) == machine.stats.committed
+        for timeline in tracer.timelines.values():
+            seq = timeline.seq
+            assert timeline.fetch == first.get(("fetch", seq), -1)
+            assert timeline.dispatch == first.get(("dispatch", seq), -1)
+            assert timeline.issue == first.get(("issue", seq), -1)
+            assert timeline.complete == first.get(("complete", seq), -1)
+            assert timeline.commit == commits.get(seq, -1)
+            assert timeline.squashed == (seq in squashed)
+
+    def test_tracer_observes_machine_driven_externally(self):
+        """A subscriber needs no special driver: Machine.run() feeds
+        the tracer exactly as tracer.run() does."""
+        machine = Machine(loop_program().assemble(), FAST)
+        tracer = PipelineTracer(machine)
+        machine.run()
+        assert machine.done
+        assert len(tracer.committed()) == machine.stats.committed

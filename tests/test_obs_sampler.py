@@ -1,0 +1,150 @@
+"""Interval-sampler tests: window tiling, boundary math, and the
+per-window series values."""
+
+from dataclasses import replace
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.memory.hierarchy import HierarchyConfig
+from repro.obs.sampler import IntervalSampler, Window, window_from_dict
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+
+def work_program(n=200) -> Assembler:
+    asm = Assembler()
+    standard_prologue(asm)
+    asm.li("s0", n)
+    asm.label("loop")
+    asm.op("addq", "t0", "t0", 1)
+    asm.op("addq", "t1", "t1", 2)
+    asm.op("xor", "t2", "t0", "t1")
+    asm.op("subq", "s0", "s0", 1)
+    asm.br("bne", "s0", "loop")
+    asm.halt()
+    return asm
+
+
+def sampled_run(window: int, config=FAST,
+                n=200) -> tuple[Machine, IntervalSampler]:
+    machine = Machine(work_program(n).assemble(), config)
+    sampler = IntervalSampler(window=window)
+    machine.add_probe(sampler)
+    machine.run()
+    assert machine.done
+    sampler.finish(machine)
+    return machine, sampler
+
+
+class TestWindowBoundaries:
+    def test_windows_tile_the_run_exactly(self):
+        machine, sampler = sampled_run(window=64)
+        assert sampler.total_cycles == machine.stats.cycles
+        assert sampler.total_committed == machine.stats.committed
+
+    def test_all_but_last_window_are_full_width(self):
+        machine, sampler = sampled_run(window=64)
+        assert len(sampler.windows) >= 2
+        for window in sampler.windows[:-1]:
+            assert window.cycles == 64
+        assert 1 <= sampler.windows[-1].cycles <= 64
+
+    def test_windows_are_contiguous_and_indexed(self):
+        _, sampler = sampled_run(window=50)
+        for i, window in enumerate(sampler.windows):
+            assert window.index == i
+            assert window.end_cycle - window.start_cycle == window.cycles
+            if i:
+                assert window.start_cycle == sampler.windows[i - 1].end_cycle
+        assert sampler.windows[0].start_cycle == 0
+
+    def test_exact_multiple_leaves_no_partial_window(self):
+        machine = Machine(work_program().assemble(), FAST)
+        sampler = IntervalSampler(window=32)
+        machine.add_probe(sampler)
+        for _ in range(96):
+            machine.step()
+        sampler.finish(machine)
+        assert [w.cycles for w in sampler.windows] == [32, 32, 32]
+
+    def test_window_of_one_cycle(self):
+        machine, sampler = sampled_run(window=1, n=20)
+        assert len(sampler.windows) == machine.stats.cycles
+        assert all(w.cycles == 1 for w in sampler.windows)
+
+    def test_rejects_nonpositive_window(self):
+        try:
+            IntervalSampler(window=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("window=0 accepted")
+
+
+class TestSeriesValues:
+    def test_ipc_is_committed_over_cycles(self):
+        machine, sampler = sampled_run(window=64)
+        for window in sampler.windows:
+            assert window.ipc == window.committed / window.cycles
+        total_ipc = machine.stats.ipc
+        weighted = (sum(w.ipc * w.cycles for w in sampler.windows)
+                    / machine.stats.cycles)
+        assert abs(weighted - total_ipc) < 1e-9
+
+    def test_occupancies_within_structure_bounds(self):
+        machine, sampler = sampled_run(window=64)
+        config = machine.config
+        for window in sampler.windows:
+            assert 0 <= window.ruu_occupancy <= config.ruu_size
+            assert 0 <= window.lsq_occupancy <= config.lsq_size
+            assert 0 <= window.fetchq_occupancy <= config.fetch_queue_size
+
+    def test_narrow_fraction_on_narrow_code(self):
+        # Every operand in work_program stays tiny: once the loop is
+        # hot, windows should be overwhelmingly narrow.
+        _, sampler = sampled_run(window=64)
+        busy = [w for w in sampler.windows if w.committed]
+        assert busy
+        assert max(w.narrow16_frac for w in busy) > 0.9
+        for window in sampler.windows:
+            assert 0.0 <= window.narrow16_frac <= 1.0
+
+    def test_packed_fraction_appears_with_packing(self):
+        _, sampler = sampled_run(window=64, config=FAST.with_packing())
+        assert any(w.packed_frac > 0 for w in sampler.windows)
+        _, plain = sampled_run(window=64)
+        assert all(w.packed_frac == 0 for w in plain.windows)
+
+    def test_gated_power_tracks_activity(self):
+        _, sampler = sampled_run(window=64)
+        busy = [w for w in sampler.windows if w.issued]
+        assert busy
+        assert all(w.gated_mw > 0 for w in busy)
+
+    def test_mispredicts_and_traps_sum_to_totals(self):
+        machine, sampler = sampled_run(window=64)
+        assert (sum(w.mispredicts for w in sampler.windows)
+                == machine.stats.mispredicts)
+        machine, sampler = sampled_run(
+            window=64, config=FAST.with_packing(replay=True))
+        assert (sum(w.replay_traps for w in sampler.windows)
+                == machine.stats.replay_traps)
+
+
+class TestWindowSerialization:
+    def test_window_dict_round_trip(self):
+        _, sampler = sampled_run(window=64)
+        for window in sampler.windows:
+            assert window_from_dict(window.as_dict()) == window
+
+    def test_probe_can_be_detached(self):
+        machine = Machine(work_program(20).assemble(), FAST)
+        sampler = IntervalSampler(window=8)
+        machine.add_probe(sampler)
+        for _ in range(16):
+            machine.step()
+        machine.remove_probe(sampler)
+        machine.run()
+        sampler.finish(machine)
+        assert sampler.total_cycles == 16
