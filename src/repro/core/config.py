@@ -12,7 +12,9 @@ derives the paper's other configurations from it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.memory.hierarchy import HierarchyConfig
 from repro.power.gating import GatingPolicy
@@ -85,6 +87,20 @@ class MachineConfig:
 
     # simulation safety net
     max_cycles: int = 200_000_000
+
+    def fingerprint(self) -> str:
+        """Stable hex digest identifying this configuration.
+
+        Computed over the canonical JSON form of every field (nested
+        dataclasses included), so it is identical across processes and
+        sessions — unlike ``hash()``, which is salted per process.  The
+        persistent result cache and the obs manifest filenames key on
+        it: any field change yields a new fingerprint and therefore a
+        cache miss.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # -- derived configurations used by the paper -----------------------------
 

@@ -1,0 +1,87 @@
+"""Persistent on-disk result cache.
+
+Each entry is one JSON file holding the serialized run result plus the
+obs manifest of the run that produced it (when obs was attached), under
+a content key::
+
+    <cache_dir>/<workload>-<config_fp[:10]>-x<scale>.json
+
+Invalidation is by construction, not by mtime:
+
+* the entry embeds the **full** job fingerprint (workload, scale, and
+  the config's canonical sha256 digest) and is rejected on mismatch —
+  a truncated-digest filename collision therefore cannot serve wrong
+  results;
+* the entry embeds :data:`SCHEMA`; entries written by an older layout
+  are rejected (and overwritten on the next store);
+* unreadable or structurally corrupt entries are treated as misses —
+  a damaged cache degrades to fresh simulation, never to a crash.
+
+Stores are atomic (write-to-temp + ``os.replace``) so a killed run
+cannot leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exec.jobs import Job
+
+#: Cache entry schema (bump on any breaking change to the serialized
+#: result layout — old entries then read as misses).
+SCHEMA = "repro-exec/1"
+
+
+class ResultCache:
+    """Directory of serialized run results, keyed by job content."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path(self, job: Job) -> Path:
+        return self.directory / f"{job.stem()}.json"
+
+    def load(self, job: Job) -> dict | None:
+        """The stored payload for ``job``, or None on any kind of miss
+        (absent, unreadable, wrong schema, fingerprint mismatch)."""
+        path = self.path(job)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA:
+            return None
+        if entry.get("fingerprint") != job.fingerprint():
+            return None
+        if "result" not in entry:
+            return None
+        return entry
+
+    def store(self, job: Job, result: dict,
+              manifest: dict | None = None) -> Path:
+        """Atomically persist one job's serialized result (+ manifest)."""
+        entry = {
+            "schema": SCHEMA,
+            "workload": job.workload,
+            "scale": job.scale,
+            "fingerprint": job.fingerprint(),
+            "result": result,
+            "manifest": manifest,
+        }
+        path = self.path(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def entries(self) -> list[Path]:
+        """Every entry file currently in the cache directory."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))

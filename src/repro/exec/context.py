@@ -1,0 +1,42 @@
+"""Run context: everything about *how* to run that is not the job.
+
+:class:`RunContext` replaces the old ``set_obs_dir()`` module global —
+the obs directory, cache policy, and parallelism now travel explicitly
+through :func:`repro.experiments.base.run_workload` and the
+:class:`~repro.exec.engine.RunEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Execution policy for a batch of simulation jobs."""
+
+    #: directory for obs run manifests (None = no obs instrumentation).
+    obs_dir: Path | None = None
+    #: directory for the persistent result cache (None = memory only).
+    cache_dir: Path | None = None
+    #: consult/populate the in-process memo and the on-disk cache.
+    use_cache: bool = True
+    #: ignore existing cache entries and overwrite them with fresh runs.
+    refresh: bool = False
+    #: worker processes for fresh simulations (1 = run in-process).
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        # Accept plain strings for the directories.
+        if self.obs_dir is not None and not isinstance(self.obs_dir, Path):
+            object.__setattr__(self, "obs_dir", Path(self.obs_dir))
+        if (self.cache_dir is not None
+                and not isinstance(self.cache_dir, Path)):
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    @property
+    def wants_obs(self) -> bool:
+        return self.obs_dir is not None

@@ -1,0 +1,200 @@
+"""The run engine: schedule simulation jobs, merge results deterministically.
+
+The engine owns the three result tiers and consults them in order:
+
+1. the **in-process memo** (shared by every engine in the process, so
+   figure renderers re-requesting a run after the engine pre-ran it pay
+   nothing — the old ``experiments.base._CACHE`` behavior);
+2. the **persistent on-disk cache** (:class:`~repro.exec.cache.ResultCache`),
+   keyed by workload, scale, config fingerprint, and schema version, so
+   a warm re-run of the full suite costs milliseconds;
+3. **fresh simulation** — in-process when ``ctx.jobs == 1``, fanned out
+   over a :class:`~concurrent.futures.ProcessPoolExecutor` otherwise.
+
+Determinism: fresh results are collected in job-submission order (never
+``as_completed``), and *every* fresh result — serial or pooled — passes
+through the same serialize/deserialize round trip the cache uses, so
+counters are bit-exact across all three tiers by construction.
+
+:data:`GLOBAL_STATS` accumulates over every engine in the process; the
+CLI's end-of-suite summary and the CI warm-cache check ("zero fresh
+simulations") read it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.machine import Machine, RunResult
+from repro.exec.cache import ResultCache
+from repro.exec.context import RunContext
+from repro.exec.jobs import Job, dedupe
+from repro.exec.serialize import result_from_dict, result_to_dict
+from repro.obs.export import build_manifest, write_manifest
+from repro.obs.sampler import IntervalSampler
+from repro.workloads.registry import get_workload, resolve_warmup
+
+#: Process-wide result memo, shared by all engines (the figure modules'
+#: ``run()`` functions hit it after the engine pre-ran their jobs).
+_MEMO: dict[tuple, RunResult] = {}
+
+
+def clear_memo() -> None:
+    """Drop every memoized result (tests; the disk cache is untouched)."""
+    _MEMO.clear()
+
+
+@dataclass
+class EngineStats:
+    """Where results came from, for one engine or process-wide."""
+
+    jobs_requested: int = 0    # jobs passed to run_jobs (pre-dedup)
+    jobs_unique: int = 0       # after dedup
+    memo_hits: int = 0         # served from the in-process memo
+    cache_hits: int = 0        # rehydrated from the on-disk cache
+    fresh_runs: int = 0        # actual simulations executed
+    cache_stores: int = 0      # entries written to the on-disk cache
+
+    def add(self, other: "EngineStats") -> None:
+        for name in ("jobs_requested", "jobs_unique", "memo_hits",
+                     "cache_hits", "fresh_runs", "cache_stores"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def summary(self) -> str:
+        return (f"{self.fresh_runs} fresh, {self.cache_hits} from disk "
+                f"cache, {self.memo_hits} memoized "
+                f"({self.jobs_unique} unique of "
+                f"{self.jobs_requested} requested)")
+
+
+#: Accumulated over every engine in this process.
+GLOBAL_STATS = EngineStats()
+
+
+def _simulate(job: Job, obs: bool) -> dict:
+    """Execute one job (worker-side): warmup, detailed run, serialize.
+
+    Returns ``{"result": <dict>, "manifest": <dict | None>}`` — plain
+    JSON-safe data, equally happy to cross a process boundary or land
+    in the cache.
+    """
+    workload = get_workload(job.workload)
+    machine = Machine(workload.build(job.scale), job.config)
+    sampler = None
+    if obs:
+        sampler = IntervalSampler(window=job.config.obs.sampler_window)
+        machine.add_probe(sampler)
+        machine.enable_stall_attribution()
+    machine.fast_forward(resolve_warmup(workload, job.scale))
+    result = machine.run(max_insts=workload.window)
+    manifest = None
+    if sampler is not None:
+        sampler.finish(machine)
+        manifest = build_manifest(
+            result, attribution=machine.attribution, sampler=sampler,
+            workload=job.workload, scale=job.scale)
+    return {"result": result_to_dict(result), "manifest": manifest}
+
+
+class RunEngine:
+    """Runs batches of jobs under one :class:`RunContext`."""
+
+    def __init__(self, ctx: RunContext | None = None) -> None:
+        self.ctx = ctx or RunContext()
+        self.stats = EngineStats()
+        self._cache = (ResultCache(self.ctx.cache_dir)
+                       if self.ctx.cache_dir is not None else None)
+
+    # ------------------------------------------------------------------ API
+
+    def run_jobs(self, jobs: list[Job]) -> dict[tuple, RunResult]:
+        """Run (or recall) every job; returns results keyed by
+        :attr:`Job.key`.  Duplicate jobs are executed once."""
+        unique = dedupe(jobs)
+        self._bump(jobs_requested=len(jobs), jobs_unique=len(unique))
+
+        results: dict[tuple, RunResult] = {}
+        fresh: list[Job] = []
+        for job in unique:
+            result = self._recall(job)
+            if result is not None:
+                results[job.key] = result
+            else:
+                fresh.append(job)
+
+        for job, payload in zip(fresh, self._execute(fresh)):
+            results[job.key] = self._absorb(job, payload)
+        return results
+
+    def run(self, job: Job) -> RunResult:
+        """Convenience single-job entry point."""
+        return self.run_jobs([job])[job.key]
+
+    # ------------------------------------------------------------- recall
+
+    def _recall(self, job: Job) -> RunResult | None:
+        """Serve a job from the memo or the disk cache, if allowed."""
+        ctx = self.ctx
+        if not ctx.use_cache or ctx.refresh:
+            return None
+        result = _MEMO.get(job.key)
+        if result is not None:
+            self._bump(memo_hits=1)
+            return result
+        if self._cache is None:
+            return None
+        entry = self._cache.load(job)
+        if entry is None:
+            return None
+        if ctx.wants_obs and entry.get("manifest") is None:
+            # Obs artifacts were requested but this entry was produced
+            # without instrumentation: only a fresh run can supply them.
+            return None
+        result = result_from_dict(entry["result"], config=job.config)
+        self._bump(cache_hits=1)
+        _MEMO[job.key] = result
+        if ctx.wants_obs:
+            write_manifest(ctx.obs_dir, entry["manifest"], stem=job.stem())
+        return result
+
+    # ------------------------------------------------------------ execute
+
+    def _execute(self, fresh: list[Job]) -> list[dict]:
+        """Simulate every job in ``fresh``, payloads in job order."""
+        ctx = self.ctx
+        if not fresh:
+            return []
+        if ctx.jobs == 1 or len(fresh) == 1:
+            return [_simulate(job, ctx.wants_obs) for job in fresh]
+        workers = min(ctx.jobs, len(fresh))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_simulate, job, ctx.wants_obs)
+                       for job in fresh]
+            # Submission order, not completion order: merging stays
+            # deterministic regardless of worker scheduling.
+            return [future.result() for future in futures]
+
+    def _absorb(self, job: Job, payload: dict) -> RunResult:
+        """Rehydrate one fresh payload and feed every result tier."""
+        ctx = self.ctx
+        result = result_from_dict(payload["result"], config=job.config)
+        self._bump(fresh_runs=1)
+        if ctx.use_cache:
+            _MEMO[job.key] = result
+            if self._cache is not None:
+                self._cache.store(job, payload["result"],
+                                  manifest=payload["manifest"])
+                self._bump(cache_stores=1)
+        if ctx.wants_obs and payload["manifest"] is not None:
+            write_manifest(ctx.obs_dir, payload["manifest"],
+                           stem=job.stem())
+        return result
+
+    # -------------------------------------------------------------- stats
+
+    def _bump(self, **deltas: int) -> None:
+        for name, delta in deltas.items():
+            setattr(self.stats, name, getattr(self.stats, name) + delta)
+            setattr(GLOBAL_STATS, name,
+                    getattr(GLOBAL_STATS, name) + delta)

@@ -1,5 +1,12 @@
 """Experiment harness: one module per paper table/figure.
 
+Each module registers a declarative
+:class:`~repro.experiments.registry.Experiment` (name, description,
+job spec, render fn); the CLI runner, the run engine, and ``repro-obs``
+all discover experiments from that registry.  Import order below is the
+paper's presentation order — it defines the registry order and
+therefore what ``repro-experiments all`` prints first.
+
 See DESIGN.md's experiment index for the mapping from paper figures to
 modules, and ``repro.experiments.runner`` for the CLI that regenerates
 everything.
@@ -7,15 +14,16 @@ everything.
 
 from repro.experiments import (  # noqa: F401
     base,
+    registry,
+    table1_config,
+    table4_devices,
     fig1_cumulative_widths,
     fig2_width_fluctuation,
     fig4_narrow16_by_class,
     fig5_narrow33_by_class,
     fig6_power_saved,
     fig7_power_total,
+    load_zero_detect,
     fig10_packing_speedup,
     fig11_ipc,
-    load_zero_detect,
-    table1_config,
-    table4_devices,
 )

@@ -3,31 +3,32 @@
 Every figure/table module builds on :func:`run_workload`, which applies
 the paper's methodology: assemble the benchmark, fast-forward through
 its initialization (Section 3.2's warmup), then run the detailed
-simulator to completion.  Results are memoized per (workload, config,
-scale) within the process so that e.g. Figure 6 and Figure 7 — which
-share the same baseline runs — do not pay for simulation twice.
+simulator to completion.  Execution is delegated to the run engine
+(:mod:`repro.exec`): results are memoized process-wide — e.g. Figure 6
+and Figure 7 share their baseline runs — and, when a
+:class:`~repro.exec.context.RunContext` carries a cache directory,
+persisted on disk so later sessions skip the simulation entirely.
 
-When an observability directory is set (:func:`set_obs_dir`, surfaced
-as ``repro-experiments --obs-out DIR``), every *fresh* simulation also
-runs with the interval sampler and stall attribution attached and
-leaves a JSON run manifest in that directory — so regenerating a figure
-doubles as producing a machine-readable regression artifact.
+The context also replaces the old ``set_obs_dir()`` module global: obs
+directory, cache policy, and parallelism travel explicitly.  When the
+context names an obs directory, every *fresh* simulation runs with the
+interval sampler and stall attribution attached and leaves a JSON run
+manifest there — so regenerating a figure doubles as producing a
+machine-readable regression artifact.
 """
 
 from __future__ import annotations
 
-import hashlib
+import warnings
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.config import BASELINE, MachineConfig
-from repro.core.machine import Machine, RunResult
-from repro.obs.export import build_manifest, write_manifest
-from repro.obs.sampler import IntervalSampler
+from repro.core.machine import RunResult
+from repro.exec import Job, RunContext, RunEngine, clear_memo
 from repro.workloads.registry import (
     MEDIABENCH,
     SPECINT95,
-    get_workload,
-    resolve_warmup,
     suite_workloads,
 )
 
@@ -38,53 +39,52 @@ MEDIA_ORDER = ("gsm-encode", "gsm-decode", "mpeg2-encode", "mpeg2-decode",
                "g721-encode", "g721-decode")
 ALL_ORDER = SPEC_ORDER + MEDIA_ORDER
 
-_CACHE: dict[tuple, RunResult] = {}
+#: Fallback context used when a caller passes no explicit one; mutated
+#: only by the deprecated :func:`set_obs_dir` shim.
+_DEFAULT_CONTEXT = RunContext()
 
-_OBS_DIR: Path | None = None
+_OBS_DIR_WARNED = False
 
 
 def set_obs_dir(path: str | Path | None) -> None:
-    """Direct every fresh :func:`run_workload` simulation to leave an
-    obs run manifest under ``path`` (None disables)."""
-    global _OBS_DIR
-    _OBS_DIR = Path(path) if path is not None else None
+    """Deprecated: pass ``RunContext(obs_dir=...)`` to
+    :func:`run_workload` (or ``--obs-out`` on the CLI) instead.
 
-
-def _config_tag(config: MachineConfig) -> str:
-    """Short stable tag distinguishing configurations in filenames."""
-    return hashlib.sha1(repr(config).encode()).hexdigest()[:10]
+    Kept as a thin shim: sets the obs directory of the fallback context
+    used when no explicit context is given.  Warns once.
+    """
+    global _DEFAULT_CONTEXT, _OBS_DIR_WARNED
+    if not _OBS_DIR_WARNED:
+        warnings.warn(
+            "set_obs_dir() is deprecated; pass RunContext(obs_dir=...) "
+            "to run_workload() instead",
+            DeprecationWarning, stacklevel=2)
+        _OBS_DIR_WARNED = True
+    _DEFAULT_CONTEXT = replace(
+        _DEFAULT_CONTEXT,
+        obs_dir=Path(path) if path is not None else None)
 
 
 def run_workload(name: str, config: MachineConfig = BASELINE,
-                 scale: int = 1, use_cache: bool = True) -> RunResult:
+                 scale: int = 1, use_cache: bool = True,
+                 ctx: RunContext | None = None) -> RunResult:
     """Run one benchmark under ``config`` with the paper's warmup
-    methodology; memoized within the process."""
-    key = (name, config, scale)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    workload = get_workload(name)
-    machine = Machine(workload.build(scale), config)
-    sampler = None
-    if _OBS_DIR is not None:
-        sampler = IntervalSampler(window=config.obs.sampler_window)
-        machine.add_probe(sampler)
-        machine.enable_stall_attribution()
-    machine.fast_forward(resolve_warmup(workload, scale))
-    result = machine.run(max_insts=workload.window)
-    if sampler is not None:
-        sampler.finish(machine)
-        manifest = build_manifest(
-            result, attribution=machine.attribution, sampler=sampler,
-            workload=name, scale=scale)
-        write_manifest(_OBS_DIR, manifest,
-                       stem=f"{name}-{_config_tag(config)}-x{scale}")
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    methodology, through the run engine's result tiers (process-wide
+    memo, optional disk cache, fresh simulation).
+
+    ``ctx`` controls obs output, cache directories, and parallelism;
+    ``use_cache=False`` bypasses every cache tier for this call.
+    """
+    if ctx is None:
+        ctx = _DEFAULT_CONTEXT
+    if not use_cache and ctx.use_cache:
+        ctx = replace(ctx, use_cache=False)
+    return RunEngine(ctx).run(Job(name, config, scale))
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the process-wide result memo (disk caches are untouched)."""
+    clear_memo()
 
 
 def spec_names() -> tuple[str, ...]:

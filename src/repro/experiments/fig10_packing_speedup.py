@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
+from repro.experiments.registry import Experiment, register
 from repro.experiments.base import (
     all_names,
     format_table,
@@ -98,6 +100,45 @@ def report(result: Fig10Result) -> str:
     rows.append(["MediaBench avg", result.media_perfect,
                  result.media_realistic])
     return title + "\n" + format_table(headers, rows, precision=1)
+
+
+def jobs(scale: int = 1, config: MachineConfig = BASELINE,
+         decode_width: int = 4, replay: bool = False) -> list[Job]:
+    """Each benchmark under both predictors, plain and packed (the
+    plain combining runs are the shared baseline suite; the packed
+    runs are shared with Figure 11)."""
+    if decode_width != config.decode_width:
+        config = config.with_decode_width(decode_width)
+    out = []
+    for name in all_names():
+        for predictor in ("perfect", "combining"):
+            cfg = config.with_predictor(predictor)
+            out.append(Job(name, cfg, scale))
+            out.append(Job(name, cfg.with_packing(replay=replay), scale))
+    return out
+
+
+register(Experiment(
+    name="fig10",
+    description="Figure 10 — % speedup from operation packing "
+                "(4-wide decode)",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
+
+register(Experiment(
+    name="fig10-replay",
+    description="Section 5.3 — packing speedup with replay packing",
+    jobs=lambda scale: jobs(scale, replay=True),
+    render=lambda scale: report(run(scale=scale, replay=True)),
+))
+
+register(Experiment(
+    name="fig10-8wide",
+    description="Section 5.4 — packing speedup at 8-wide decode",
+    jobs=lambda scale: jobs(scale, decode_width=8),
+    render=lambda scale: report(run(scale=scale, decode_width=8)),
+))
 
 
 if __name__ == "__main__":

@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.base import all_names, format_table, run_workload
+from repro.experiments.registry import Experiment, register
 
 
 @dataclass
@@ -63,6 +65,28 @@ def report(result: Fig11Result) -> str:
     return ("Figure 11 — IPC for baseline, packing, and 8-issue/8-ALU "
             "machines (combining predictor)\n"
             + format_table(headers, rows, precision=2))
+
+
+def jobs(scale: int = 1, config: MachineConfig = BASELINE,
+         replay: bool = False) -> list[Job]:
+    """Three machines per benchmark: baseline, packed (shared with
+    Figure 10's combining series), and 8-issue/8-ALU."""
+    packed_cfg = config.with_packing(replay=replay)
+    wide_cfg = config.with_issue_width(8, 8)
+    out = []
+    for name in all_names():
+        out.append(Job(name, config, scale))
+        out.append(Job(name, packed_cfg, scale))
+        out.append(Job(name, wide_cfg, scale))
+    return out
+
+
+register(Experiment(
+    name="fig11",
+    description="Figure 11 — IPC: baseline vs packing vs 8-issue/8-ALU",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.base import format_table, run_workload, spec_names
+from repro.experiments.registry import Experiment, register
 
 #: Bit positions highlighted when printing the curve.
 LANDMARKS = (8, 16, 24, 32, 33, 48, 64)
@@ -61,6 +63,20 @@ def report(result: Fig1Result) -> str:
     table = format_table(headers, rows, precision=1)
     return ("Figure 1 — cumulative % of integer operations with both "
             "operands <= N bits\n" + table)
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """The SPECint95 suite on the Table 1 baseline."""
+    return [Job(name, config, scale) for name in spec_names()]
+
+
+register(Experiment(
+    name="fig1",
+    description="Figure 1 — cumulative operand bitwidths (SPECint95)",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

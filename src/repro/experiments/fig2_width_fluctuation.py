@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.base import format_table, mean, run_workload, spec_names
+from repro.experiments.registry import Experiment, register
 
 
 @dataclass
@@ -64,6 +66,25 @@ def report(result: Fig2Result) -> str:
     return ("Figure 2 — % of PCs whose operand precision crosses the "
             "16-bit line during a run\n"
             + format_table(headers, rows, precision=1))
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """SPECint95 under oracle and combining branch prediction."""
+    out = []
+    for name in spec_names():
+        out.append(Job(name, config.with_predictor("perfect"), scale))
+        out.append(Job(name, config.with_predictor("combining"), scale))
+    return out
+
+
+register(Experiment(
+    name="fig2",
+    description="Figure 2 — per-PC operand-width fluctuation, perfect "
+                "vs combining branch prediction",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

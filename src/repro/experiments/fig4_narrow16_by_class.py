@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.base import all_names, format_table, run_workload
+from repro.experiments.registry import Experiment, register
 from repro.isa.opcodes import OpClass
 
 #: The classes Figure 4 breaks bars into.
@@ -61,6 +63,22 @@ def report(result: NarrowByClassResult, figure: str = "Figure 4") -> str:
     return (f"{figure} — % of integer operations with both operands "
             f"<= {result.cut} bits, by class\n"
             + format_table(headers, rows, precision=1))
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """The full 14-benchmark suite on the Table 1 baseline (the same
+    runs serve Figures 5, 6, 7, and 11's baseline column)."""
+    return [Job(name, config, scale) for name in all_names()]
+
+
+register(Experiment(
+    name="fig4",
+    description="Figure 4 — operations with both operands <= 16 bits, "
+                "by class",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

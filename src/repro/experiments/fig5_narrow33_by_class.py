@@ -12,11 +12,14 @@ point; load/store address arithmetic joins the eligible set here.
 from __future__ import annotations
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.fig4_narrow16_by_class import (
     NarrowByClassResult,
+    jobs as _jobs,
     report as _report,
     run as _run,
 )
+from repro.experiments.registry import Experiment, register
 
 CUT = 33
 
@@ -28,6 +31,22 @@ def run(config: MachineConfig = BASELINE,
 
 def report(result: NarrowByClassResult) -> str:
     return _report(result, figure="Figure 5")
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """Identical runs to Figure 4 — only the cut point differs, so the
+    engine deduplicates the whole job set."""
+    return _jobs(scale, config)
+
+
+register(Experiment(
+    name="fig5",
+    description="Figure 5 — operations with both operands <= 33 bits, "
+                "by class",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

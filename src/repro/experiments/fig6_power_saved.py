@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
 from repro.experiments.base import all_names, format_table, run_workload
+from repro.experiments.registry import Experiment, register
 
 
 @dataclass
@@ -55,6 +57,20 @@ def report(result: Fig6Result) -> str:
     return ("Figure 6 — per-cycle power saved by operand gating "
             "(Table 4 device model)\n"
             + format_table(headers, rows, precision=1))
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """The baseline suite (shared verbatim with Figure 7)."""
+    return [Job(name, config, scale) for name in all_names()]
+
+
+register(Experiment(
+    name="fig6",
+    description="Figure 6 — net per-cycle power saved by clock gating",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

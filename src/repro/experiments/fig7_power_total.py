@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
+from repro.experiments.registry import Experiment, register
 from repro.experiments.base import (
     all_names,
     format_table,
@@ -77,6 +79,20 @@ def report(result: Fig7Result) -> str:
     return ("Figure 7 — integer-unit power per cycle (paper: 54.1% SPEC "
             "/ 57.9% media reduction)\n"
             + format_table(headers, rows, precision=1))
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """The baseline suite (shared verbatim with Figure 6)."""
+    return [Job(name, config, scale) for name in all_names()]
+
+
+register(Experiment(
+    name="fig7",
+    description="Figure 7 — integer-unit power, baseline vs gated",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
+from repro.experiments.registry import Experiment, register
 from repro.experiments.base import (
     all_names,
     format_table,
@@ -81,6 +83,28 @@ def report(result: LoadDetectResult) -> str:
     return ("Section 4.2 — gated operations fed directly by loads "
             "(paper: 13.1% SPEC / 1.5% media)\n"
             + format_table(headers, rows, precision=1))
+
+
+def jobs(scale: int = 1,
+         config: MachineConfig = BASELINE) -> list[Job]:
+    """The full suite with and without the cache-side zero detect (the
+    detect-on runs are the shared baseline suite)."""
+    no_loads = config.with_gating(
+        replace(config.gating, detect_loads=False))
+    out = []
+    for name in all_names():
+        out.append(Job(name, config, scale))
+        out.append(Job(name, no_loads, scale))
+    return out
+
+
+register(Experiment(
+    name="loaddetect",
+    description="Section 4.2 — gated operations fed directly by loads, "
+                "and the cost of omitting load zero-detect",
+    jobs=jobs,
+    render=lambda scale: report(run(scale=scale)),
+))
 
 
 if __name__ == "__main__":

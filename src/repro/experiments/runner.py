@@ -6,6 +6,15 @@ experiments can be selected by name::
 
     repro-experiments fig7 fig10
     repro-experiments --scale 2 all
+    repro-experiments --jobs 4 --cache-dir ~/.cache/repro all
+
+Execution goes through the run engine (:mod:`repro.exec`): the union of
+every selected experiment's declared job set is deduplicated (figures
+share runs — 6/7 the baseline suite, 10/11 the packed runs), fanned out
+across ``--jobs`` worker processes, and backed by the persistent result
+cache under ``--cache-dir``, after which each report renders from the
+warm in-process memo.  A warm-cache rerun of the full suite performs
+zero fresh simulations.
 """
 
 from __future__ import annotations
@@ -14,86 +23,88 @@ import argparse
 import sys
 import time
 
-from repro.experiments import base
-from repro.experiments import (
-    fig1_cumulative_widths,
-    fig2_width_fluctuation,
-    fig4_narrow16_by_class,
-    fig5_narrow33_by_class,
-    fig6_power_saved,
-    fig7_power_total,
-    fig10_packing_speedup,
-    fig11_ipc,
-    load_zero_detect,
-    table1_config,
-    table4_devices,
+from repro.exec import GLOBAL_STATS, RunContext, RunEngine
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    experiment_names,
 )
 
-
-def _fig10_wide(scale: int) -> str:
-    result = fig10_packing_speedup.run(scale=scale, decode_width=8)
-    return fig10_packing_speedup.report(result)
-
-
-def _fig10_replay(scale: int) -> str:
-    result = fig10_packing_speedup.run(scale=scale, replay=True)
-    return fig10_packing_speedup.report(result)
+#: Back-compat view of the registry (the old module-level lambda table;
+#: :class:`Experiment` is callable with a scale, like the lambdas were).
+EXPERIMENTS: dict[str, Experiment] = all_experiments()
 
 
-EXPERIMENTS: dict[str, object] = {
-    "table1": lambda scale: table1_config.report(),
-    "table4": lambda scale: table4_devices.report(),
-    "fig1": lambda scale: fig1_cumulative_widths.report(
-        fig1_cumulative_widths.run(scale=scale)),
-    "fig2": lambda scale: fig2_width_fluctuation.report(
-        fig2_width_fluctuation.run(scale=scale)),
-    "fig4": lambda scale: fig4_narrow16_by_class.report(
-        fig4_narrow16_by_class.run(scale=scale)),
-    "fig5": lambda scale: fig5_narrow33_by_class.report(
-        fig5_narrow33_by_class.run(scale=scale)),
-    "fig6": lambda scale: fig6_power_saved.report(
-        fig6_power_saved.run(scale=scale)),
-    "fig7": lambda scale: fig7_power_total.report(
-        fig7_power_total.run(scale=scale)),
-    "loaddetect": lambda scale: load_zero_detect.report(
-        load_zero_detect.run(scale=scale)),
-    "fig10": lambda scale: fig10_packing_speedup.report(
-        fig10_packing_speedup.run(scale=scale)),
-    "fig10-replay": _fig10_replay,
-    "fig10-8wide": _fig10_wide,
-    "fig11": lambda scale: fig11_ipc.report(fig11_ipc.run(scale=scale)),
-}
-
-
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
+        prog="repro-experiments",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiments", nargs="*", default=["all"],
-                        help="experiment names (default: all); one of "
-                             + ", ".join(EXPERIMENTS))
+                        help="experiment names (default: all); any of: "
+                             + ", ".join(experiment_names()))
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for fresh simulations "
+                             "(default 1 = serial; results are "
+                             "bit-exact either way)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result cache directory; warm "
+                             "reruns skip simulation entirely")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass every result cache tier (forces "
+                             "fresh simulation, stores nothing)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore existing cache entries and "
+                             "overwrite them with fresh runs")
     parser.add_argument("--obs-out", default=None, metavar="DIR",
                         help="write an observability run manifest "
                              "(sampler windows + stall attribution) for "
-                             "every fresh simulation into DIR")
-    args = parser.parse_args(argv)
-    base.set_obs_dir(args.obs_out)
+                             "every simulation into DIR")
+    return parser
 
-    names = list(args.experiments) or ["all"]
-    if names == ["all"] or names == []:
-        names = list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    valid = experiment_names()
+    names = list(args.experiments)
+    if "all" in names:
+        names = list(valid)
+    unknown = [n for n in names if n not in valid]
     if unknown:
-        parser.error(f"unknown experiments: {', '.join(unknown)}")
+        parser.error(f"unknown experiments: {', '.join(unknown)} "
+                     f"(valid: {', '.join(valid)}, all)")
+
+    registry = all_experiments()
+    selected = [registry[name] for name in names]
+    ctx = RunContext(
+        obs_dir=args.obs_out,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        refresh=args.refresh,
+        jobs=args.jobs,
+    )
+    engine = RunEngine(ctx)
 
     suite_start = time.time()
-    for name in names:
+    # Phase 1: execute the union of every selected experiment's job set
+    # (deduplicated, parallel, cached).  Renderers then hit the memo.
+    jobs = [job for exp in selected for job in exp.jobs(args.scale)]
+    engine.run_jobs(jobs)
+
+    # Phase 2: render, in the order the experiments were requested.
+    for exp in selected:
         start = time.time()
-        print(EXPERIMENTS[name](args.scale))
-        print(f"[{name} done in {time.time() - start:.1f}s]\n")
-    print(f"[{len(names)} experiment(s) in "
-          f"{time.time() - suite_start:.1f}s total]")
+        print(exp.render(args.scale))
+        print(f"[{exp.name} done in {time.time() - start:.1f}s]\n")
+
+    print(f"[{len(selected)} experiment(s) in "
+          f"{time.time() - suite_start:.1f}s total; "
+          f"engine: {GLOBAL_STATS.summary()}]")
     if args.obs_out:
         print(f"[obs manifests in {args.obs_out}]")
     return 0

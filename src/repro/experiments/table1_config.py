@@ -9,6 +9,8 @@ describes.
 from __future__ import annotations
 
 from repro.core.config import BASELINE, MachineConfig
+from repro.exec.jobs import Job
+from repro.experiments.registry import Experiment, register
 
 
 def rows(config: MachineConfig = BASELINE) -> list[tuple[str, str]]:
@@ -52,6 +54,20 @@ def report(config: MachineConfig = BASELINE) -> str:
     for parameter, value in rows(config):
         lines.append(f"  {parameter:28s} {value}")
     return "\n".join(lines)
+
+
+def jobs(scale: int = 1) -> list[Job]:
+    """Pure configuration rendering: no simulations needed."""
+    return []
+
+
+register(Experiment(
+    name="table1",
+    description="Table 1 — baseline configuration of the simulated "
+                "processor",
+    jobs=jobs,
+    render=lambda scale: report(),
+))
 
 
 if __name__ == "__main__":

@@ -7,7 +7,9 @@ values (mW at 3.3 V and 500 MHz).
 
 from __future__ import annotations
 
+from repro.exec.jobs import Job
 from repro.experiments.base import format_table
+from repro.experiments.registry import Experiment, register
 from repro.power.devices import (
     MUX_OVERHEAD_MW,
     ZERO_DETECT_MW,
@@ -45,6 +47,19 @@ def report() -> str:
     headers = ["Device", "32-bit", "48-bit", "64-bit"]
     return ("Table 4 — estimated power of functional units at 3.3V / "
             "500MHz (mW)\n" + format_table(headers, rows(), precision=1))
+
+
+def jobs(scale: int = 1) -> list[Job]:
+    """Pure device-model rendering: no simulations needed."""
+    return []
+
+
+register(Experiment(
+    name="table4",
+    description="Table 4 — estimated power of the functional units",
+    jobs=jobs,
+    render=lambda scale: report(),
+))
 
 
 if __name__ == "__main__":

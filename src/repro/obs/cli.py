@@ -41,6 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "gsm-encode); see --list")
     parser.add_argument("--list", action="store_true", dest="list_workloads",
                         help="list registered workloads and exit")
+    parser.add_argument("--list-experiments", action="store_true",
+                        help="list registered paper experiments (name, "
+                             "description, simulation-job count) and exit")
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
     parser.add_argument("--packing", action="store_true",
@@ -75,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
         for workload in sorted(all_workloads(), key=lambda w: w.name):
             print(f"{workload.name:16s} [{workload.suite}] "
                   f"{workload.description}")
+        return 0
+
+    if args.list_experiments:
+        # Same declarative registry the repro-experiments runner and
+        # the run engine consume.
+        from repro.experiments.registry import all_experiments
+        for exp in all_experiments().values():
+            print(f"{exp.name:14s} [{len(exp.jobs(1)):3d} jobs] "
+                  f"{exp.description}")
         return 0
 
     if args.workload is None:

@@ -89,6 +89,24 @@ class PowerReport:
             "load_dependent_pct": self.load_dependent_pct,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerReport":
+        """Rebuild a report from an :meth:`as_dict` snapshot (the
+        derived ``net_saved``/``reduction_pct``/``load_dependent_pct``
+        figures are properties and come back for free)."""
+        return cls(
+            cycles=int(data["cycles"]),
+            baseline=float(data["baseline_mw"]),
+            gated=float(data["gated_mw"]),
+            saved16=float(data["saved16_mw"]),
+            saved33=float(data["saved33_mw"]),
+            overhead=float(data["overhead_mw"]),
+            ops_total=int(data["ops_total"]),
+            ops_gated16=int(data["ops_gated16"]),
+            ops_gated33=int(data["ops_gated33"]),
+            load_dependent_gated=int(data["load_dependent_gated"]),
+        )
+
 
 @dataclass
 class PowerAccountant:

@@ -71,6 +71,21 @@ class CoreStats:
             "branch_accuracy": self.branch_accuracy,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreStats":
+        """Rebuild counters from an :meth:`as_dict` snapshot (derived
+        rates are recomputed, not read back)."""
+        stats = cls()
+        for name in ("cycles", "fetched", "dispatched", "issued",
+                     "completed", "committed", "branches_committed",
+                     "cond_branches_committed", "mispredicts",
+                     "packed_ops", "pack_groups", "replay_packed_ops",
+                     "replay_traps"):
+            setattr(stats, name, int(data[name]))
+        stats.class_mix = {str(k): int(v)
+                           for k, v in data.get("class_mix", {}).items()}
+        return stats
+
 
 def speedup_pct(baseline_cycles: int, optimized_cycles: int) -> float:
     """Percent speedup of an optimized run over a baseline run of the

@@ -39,6 +39,23 @@ class FluctuationTracker:
         self._state[pc] = (narrow, count + 1,
                            changed or (narrow != last_narrow))
 
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot: per-PC state rows in insertion
+        order, so a round trip preserves the tracker exactly."""
+        return {
+            "threshold": self.threshold,
+            "pcs": [[pc, narrow, count, changed]
+                    for pc, (narrow, count, changed) in self._state.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FluctuationTracker":
+        """Rebuild a tracker from an :meth:`as_dict` snapshot."""
+        tracker = cls(threshold=int(data["threshold"]))
+        tracker._state = {int(pc): (bool(narrow), int(count), bool(changed))
+                          for pc, narrow, count, changed in data["pcs"]}
+        return tracker
+
     @property
     def total_pcs(self) -> int:
         """Distinct PCs observed."""

@@ -50,6 +50,25 @@ class WidthHistogram:
         per_class[pair_width] += 1
         self.total += 1
 
+    # -- (de)serialization ---------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot keyed by :class:`OpClass` value."""
+        return {
+            "counts": {c.value: list(counts)
+                       for c, counts in self.counts.items()},
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WidthHistogram":
+        """Rebuild a histogram from an :meth:`as_dict` snapshot."""
+        histogram = cls()
+        histogram.counts = {OpClass(value): [int(n) for n in counts]
+                            for value, counts in data["counts"].items()}
+        histogram.total = int(data["total"])
+        return histogram
+
     # -- queries -------------------------------------------------------------
 
     def class_total(self, op_class: OpClass) -> int:

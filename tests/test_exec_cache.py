@@ -1,0 +1,139 @@
+"""Tests for the persistent result cache and its serialization layer.
+
+The cache contract: entries are content-keyed (workload, scale, config
+fingerprint, schema version), stores are atomic, and *anything* wrong
+with an entry — absent, truncated, corrupt JSON, stale schema, foreign
+fingerprint — reads as a miss, never as an exception or a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import BASELINE
+from repro.exec import (
+    CACHE_SCHEMA,
+    Job,
+    ResultCache,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.base import run_workload
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert BASELINE.fingerprint() == BASELINE.fingerprint()
+
+    def test_equal_configs_equal_fingerprints(self):
+        from repro.core.config import MachineConfig
+        assert MachineConfig().fingerprint() == BASELINE.fingerprint()
+
+    def test_any_field_changes_fingerprint(self):
+        base = BASELINE.fingerprint()
+        assert BASELINE.with_packing().fingerprint() != base
+        assert BASELINE.with_predictor("perfect").fingerprint() != base
+        assert BASELINE.with_issue_width(8, 8).fingerprint() != base
+        assert BASELINE.with_obs(sampler_window=123).fingerprint() != base
+
+    def test_stable_across_processes(self):
+        # sha256 over canonical JSON: no per-process hash salting.
+        import subprocess
+        import sys
+        code = ("import sys; sys.path.insert(0, 'src'); "
+                "from repro.core.config import BASELINE; "
+                "print(BASELINE.fingerprint())")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True,
+            text=True, check=True, cwd=__file__.rsplit("/tests/", 1)[0])
+        assert out.stdout.strip() == BASELINE.fingerprint()
+
+    def test_job_fingerprint_covers_workload_and_scale(self):
+        job = Job("go", BASELINE, 1)
+        assert Job("gcc", BASELINE, 1).fingerprint() != job.fingerprint()
+        assert Job("go", BASELINE, 2).fingerprint() != job.fingerprint()
+
+
+class TestSerializeRoundTrip:
+    def test_result_round_trips_bit_exact(self):
+        result = run_workload("go", BASELINE)
+        data = result_to_dict(result)
+        # Force a real JSON trip, exactly as the disk cache does.
+        rehydrated = result_from_dict(
+            json.loads(json.dumps(data)), config=BASELINE)
+        assert rehydrated.name == result.name
+        assert rehydrated.config is BASELINE
+        assert rehydrated.stats.as_dict() == result.stats.as_dict()
+        assert rehydrated.widths.as_dict() == result.widths.as_dict()
+        assert (rehydrated.fluctuation.as_dict()
+                == result.fluctuation.as_dict())
+        assert rehydrated.power.as_dict() == result.power.as_dict()
+        # Derived figures recompute identically.
+        assert rehydrated.ipc == result.ipc
+        assert (rehydrated.widths.cumulative_curve()
+                == result.widths.cumulative_curve())
+        assert (rehydrated.fluctuation.fluctuation_pct
+                == result.fluctuation.fluctuation_pct)
+
+    def test_powerless_result_round_trips(self):
+        result = run_workload("go", BASELINE)
+        data = result_to_dict(result)
+        data["power"] = None
+        assert result_from_dict(data, BASELINE).power is None
+
+
+class TestResultCache:
+    @pytest.fixture
+    def seeded(self, tmp_path):
+        """A cache holding one real go run; returns (cache, job, dict)."""
+        result = run_workload("go", BASELINE)
+        cache = ResultCache(tmp_path)
+        job = Job("go", BASELINE, 1)
+        cache.store(job, result_to_dict(result), manifest={"x": 1})
+        return cache, job, result_to_dict(result)
+
+    def test_store_load_round_trip(self, seeded):
+        cache, job, data = seeded
+        entry = cache.load(job)
+        assert entry is not None
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["result"] == data
+        assert entry["manifest"] == {"x": 1}
+
+    def test_absent_entry_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).load(Job("go", BASELINE)) is None
+
+    def test_corrupt_json_is_miss(self, seeded):
+        cache, job, _ = seeded
+        cache.path(job).write_text("{ not json", encoding="utf-8")
+        assert cache.load(job) is None
+
+    def test_non_dict_entry_is_miss(self, seeded):
+        cache, job, _ = seeded
+        cache.path(job).write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.load(job) is None
+
+    def test_stale_schema_is_miss(self, seeded):
+        cache, job, _ = seeded
+        entry = json.loads(cache.path(job).read_text(encoding="utf-8"))
+        entry["schema"] = "repro-exec/0"
+        cache.path(job).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(job) is None
+
+    def test_foreign_fingerprint_is_miss(self, seeded):
+        """A filename collision cannot serve a wrong result: the entry
+        embeds the full fingerprint and is checked against the job."""
+        cache, job, _ = seeded
+        entry = json.loads(cache.path(job).read_text(encoding="utf-8"))
+        entry["fingerprint"] = "go-x1-0000000000000000"
+        cache.path(job).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(job) is None
+
+    def test_store_is_atomic(self, seeded):
+        cache, job, _ = seeded
+        leftovers = [p for p in cache.directory.iterdir()
+                     if ".tmp" in p.name]
+        assert leftovers == []
+        assert cache.entries() == [cache.path(job)]

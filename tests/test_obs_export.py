@@ -3,6 +3,8 @@ CLI, and the experiment runner's --obs-out integration."""
 
 from dataclasses import replace
 
+import pytest
+
 from repro.asm.assembler import Assembler, standard_prologue
 from repro.core.config import BASELINE
 from repro.core.machine import Machine
@@ -149,12 +151,10 @@ class TestCli:
 
 class TestRunnerObsDir:
     def test_run_workload_leaves_manifest(self, tmp_path):
-        experiments_base.set_obs_dir(tmp_path)
-        try:
-            result = experiments_base.run_workload(
-                "go", BASELINE.with_packing(), use_cache=False)
-        finally:
-            experiments_base.set_obs_dir(None)
+        from repro.exec import RunContext
+        result = experiments_base.run_workload(
+            "go", BASELINE.with_packing(), use_cache=False,
+            ctx=RunContext(obs_dir=tmp_path))
         manifests = list(tmp_path.glob("go-*.json"))
         assert len(manifests) == 1
         manifest = read_manifest(manifests[0])
@@ -162,3 +162,20 @@ class TestRunnerObsDir:
         attr = manifest["attribution"]
         assert attr["slots_total"] == attr["issue_width"] * attr["cycles"]
         assert manifests[0].with_suffix(".jsonl").exists()
+
+    def test_set_obs_dir_shim_warns_once_and_works(self, tmp_path):
+        import warnings
+
+        import repro.experiments.base as base_module
+        base_module._OBS_DIR_WARNED = False
+        with pytest.warns(DeprecationWarning):
+            experiments_base.set_obs_dir(tmp_path)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")   # second call must not warn
+                experiments_base.set_obs_dir(tmp_path)
+            experiments_base.run_workload("go", BASELINE.with_packing(),
+                                          use_cache=False)
+        finally:
+            experiments_base.set_obs_dir(None)
+        assert len(list(tmp_path.glob("go-*.json"))) == 1
