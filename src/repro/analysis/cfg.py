@@ -1,0 +1,168 @@
+"""Control-flow graph recovery for assembled programs.
+
+Programs come out of :mod:`repro.asm.assembler` as flat instruction
+lists with resolved branch-target *indices* (:mod:`repro.asm.layout`
+fixes the address map).  This module splits them into basic blocks and
+computes a conservative successor relation:
+
+* conditional branches: taken target + fall-through;
+* ``br``/``bsr``: the direct target (a ``bsr``'s fall-through is a
+  *return point*, reached via a matching ``ret``, not directly);
+* ``ret``: every return point in the program (the instruction after
+  each ``bsr``/``jsr``) — return addresses are data, so any call site
+  may be the dynamic matcher;
+* ``jmp``/``jsr``: statically unresolved — conservatively every block
+  leader plus every return point (and the linter flags the program as
+  imprecisely analyzable);
+* the last instruction of the program falls through to an implicit
+  ``HALT`` (matching :meth:`repro.isa.instruction.Program.fetch`), so
+  running off the end terminates rather than escapes the CFG.
+
+The successor relation deliberately over-approximates: the dynamic
+CFG-edge check in :class:`repro.analysis.oracle.DifferentialOracle`
+verifies that every *architected* control transfer the simulator
+performs stays on these edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction, Program
+from repro.isa.opcodes import CALL_OPS, Opcode, OpClass
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    start: int                      # first instruction index
+    end: int                        # one past the last instruction
+    succs: tuple[int, ...]          # leader indices of successor blocks
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+
+@dataclass
+class CFG:
+    """Basic blocks plus instruction-level successor sets."""
+
+    program: Program
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    #: leader index of the block containing each instruction
+    leader_of: list[int] = field(default_factory=list)
+    #: indices reachable from the entry block
+    reachable: set[int] = field(default_factory=set)
+    #: return points (instruction after each bsr/jsr call site)
+    return_points: tuple[int, ...] = ()
+    #: statically unresolved indirect transfers (jmp/jsr indices)
+    unresolved: tuple[int, ...] = ()
+
+    def successors(self, index: int) -> tuple[int, ...]:
+        """Successor instruction indices of instruction ``index``."""
+        block = self.blocks[self.leader_of[index]]
+        if index < block.end - 1:
+            return (index + 1,)
+        return block.succs
+
+    def is_edge(self, src: int, dst: int) -> bool:
+        """True if ``src -> dst`` is a CFG edge (architected control
+        transfers must all satisfy this)."""
+        return dst in self.successors(src)
+
+    def reachable_blocks(self) -> list[BasicBlock]:
+        return [b for lead, b in sorted(self.blocks.items())
+                if lead in self.reachable]
+
+
+def _terminator_targets(inst: Instruction, index: int, n: int,
+                        return_points: tuple[int, ...],
+                        leaders_hint: list[int]) -> tuple[int, ...]:
+    """Successor indices contributed by a control instruction."""
+    op = inst.opcode
+    if op is Opcode.HALT:
+        return ()
+    if inst.is_conditional:
+        return tuple(dict.fromkeys(
+            t for t in (inst.target, index + 1) if t is not None))
+    if op is Opcode.BR or op is Opcode.BSR:
+        return (inst.target,) if inst.target is not None else ()
+    if op is Opcode.RET:
+        return return_points
+    if op in (Opcode.JMP, Opcode.JSR):
+        # Unresolvable indirect target: every plausible entry point.
+        return tuple(sorted(set(leaders_hint) | set(return_points)))
+    return (index + 1,) if index + 1 < n else ()
+
+
+def build_cfg(program: Program) -> CFG:
+    """Recover basic blocks and the successor relation of ``program``."""
+    instructions = program.instructions
+    n = len(instructions)
+    cfg = CFG(program=program)
+    if n == 0:
+        return cfg
+
+    return_points = tuple(
+        i + 1 for i, inst in enumerate(instructions)
+        if inst.opcode in CALL_OPS and i + 1 < n)
+    unresolved = tuple(
+        i for i, inst in enumerate(instructions)
+        if inst.opcode in (Opcode.JMP, Opcode.JSR))
+
+    # Pass 1: block leaders — the entry, every branch target, and every
+    # instruction following a control transfer (including return points).
+    leaders = {program.entry if 0 <= program.entry < n else 0}
+    for i, inst in enumerate(instructions):
+        if inst.target is not None and 0 <= inst.target < n:
+            leaders.add(inst.target)
+        cls = inst.op_class
+        if (cls is OpClass.BRANCH or cls is OpClass.JUMP
+                or inst.opcode is Opcode.HALT):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    leaders.update(p for p in return_points if p < n)
+    ordered = sorted(leaders)
+    leaders_hint = ordered
+
+    # Pass 2: blocks with successor sets.
+    boundaries = ordered + [n]
+    blocks: dict[int, BasicBlock] = {}
+    leader_of = [0] * n
+    for start, end in zip(boundaries, boundaries[1:]):
+        for i in range(start, end):
+            leader_of[i] = start
+        last = instructions[end - 1]
+        cls = last.op_class
+        if (cls is OpClass.BRANCH or cls is OpClass.JUMP
+                or last.opcode is Opcode.HALT):
+            succs = _terminator_targets(last, end - 1, n, return_points,
+                                        leaders_hint)
+        else:
+            # Fall-through (possibly off the end = implicit HALT).
+            succs = (end,) if end < n else ()
+        # Clip targets that escape the program (the fetch unit turns
+        # them into HALT); the linter reports them separately.
+        succs = tuple(s for s in succs if 0 <= s < n)
+        blocks[start] = BasicBlock(start=start, end=end, succs=succs)
+
+    cfg.blocks = blocks
+    cfg.leader_of = leader_of
+    cfg.return_points = return_points
+    cfg.unresolved = unresolved
+
+    # Pass 3: reachability from the entry block.
+    entry = leader_of[program.entry] if 0 <= program.entry < n else 0
+    seen: set[int] = set()
+    stack = [entry]
+    while stack:
+        lead = stack.pop()
+        if lead in seen:
+            continue
+        seen.add(lead)
+        stack.extend(s for s in blocks[lead].succs if s not in seen)
+    cfg.reachable = {
+        i for lead in seen for i in range(blocks[lead].start,
+                                         blocks[lead].end)}
+    return cfg

@@ -1,0 +1,311 @@
+"""Signed-value intervals: the abstract domain of the width analyzer.
+
+An :class:`Interval` ``[lo, hi]`` abstracts the set of *signed* 64-bit
+values a register may hold (the machine stores unsigned bit patterns;
+:func:`repro.isa.semantics.to_signed` is the bridge).  The key query is
+:meth:`Interval.fits`: an interval fits width ``w`` exactly when every
+value in it satisfies :func:`repro.bitwidth.detect.is_narrow` at ``w``
+— i.e. lies in :func:`repro.bitwidth.detect.narrow_range`.  This makes
+"the analyzer proved it narrow" and "the zero/ones-detect hardware will
+tag it narrow" the same statement about the same value set, which is
+what the differential oracle relies on.
+
+Termination of the fixpoint is guaranteed by *threshold widening*
+(:meth:`Interval.widen`): a bound that keeps moving is snapped outward
+to the next member of a small fixed set of cut points (powers of two
+around the paper's 16/33-bit cuts), so every chain of widenings is
+finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitwidth.detect import WORD_WIDTH, narrow_range
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+#: Widening cut points: the signed bounds that matter to the paper's
+#: two hardware cuts (16/33) plus the natural power-of-two landmarks.
+_CUTS = (1, 8, 15, 16, 31, 32, 33, 47, 48)
+_THRESHOLDS = tuple(sorted(
+    {INT64_MIN, INT64_MAX, -1, 0}
+    | {-(1 << c) for c in _CUTS}
+    | {(1 << c) - 1 for c in _CUTS}
+))
+
+
+def _signed_width(value: int) -> int:
+    """Significant bits of a signed value, matching
+    :func:`repro.bitwidth.detect.effective_width` on the unsigned
+    two's-complement pattern."""
+    if value < 0:
+        value = ~value
+    return max(1, value.bit_length())
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A non-empty closed interval of signed 64-bit values."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not INT64_MIN <= self.lo <= self.hi <= INT64_MAX:
+            raise ValueError(f"bad interval [{self.lo}, {self.hi}]")
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, signed_value: int) -> bool:
+        return self.lo <= signed_value <= self.hi
+
+    def fits(self, width: int) -> bool:
+        """Every value in the interval is narrow at ``width`` (would be
+        recognized by the zero/ones detect at that cut)."""
+        lo, hi = narrow_range(width)
+        return lo <= self.lo and self.hi <= hi
+
+    def excludes(self, width: int) -> bool:
+        """No value in the interval is narrow at ``width`` — the
+        dynamic detector can *never* tag such an operand narrow."""
+        lo, hi = narrow_range(width)
+        return self.hi < lo or self.lo > hi
+
+    def may_fit(self, width: int) -> bool:
+        """Some value in the interval is narrow at ``width``."""
+        return not self.excludes(width)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi
+
+    def width_bound(self) -> int:
+        """Minimum ``w`` (1..64) such that the whole interval is narrow
+        at ``w`` — the static analogue of
+        :func:`repro.bitwidth.detect.effective_width`, maximized over
+        the interval (which is attained at an endpoint)."""
+        return min(WORD_WIDTH,
+                   max(_signed_width(self.lo), _signed_width(self.hi)))
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        if other.lo >= self.lo and other.hi <= self.hi:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Widen ``self`` (the established state) against ``newer``:
+        any bound that moved outward snaps to the next threshold, so
+        repeated widening reaches a fixpoint in O(#thresholds) steps."""
+        lo, hi = self.lo, self.hi
+        if newer.lo < lo:
+            lo = max((t for t in _THRESHOLDS if t <= newer.lo),
+                     default=INT64_MIN)
+        if newer.hi > hi:
+            hi = min((t for t in _THRESHOLDS if t >= newer.hi),
+                     default=INT64_MAX)
+        return Interval(lo, hi)
+
+
+TOP = Interval(INT64_MIN, INT64_MAX)
+ZERO = Interval(0, 0)
+BOOL = Interval(0, 1)
+BYTE = Interval(0, 255)
+WORD16 = Interval(0, 0xFFFF)
+INT32 = Interval(-(1 << 31), (1 << 31) - 1)
+#: Result range of a logical/arithmetic right shift by at least one.
+NONNEG = Interval(0, INT64_MAX)
+
+
+def const(signed_value: int) -> Interval:
+    """Singleton interval of one signed value."""
+    return Interval(signed_value, signed_value)
+
+
+def from_u64(value: int) -> Interval:
+    """Singleton interval of one 64-bit unsigned register pattern."""
+    if value & (1 << 63):
+        value -= 1 << 64
+    return Interval(value, value)
+
+
+def _clamped(lo: int, hi: int) -> Interval:
+    """Exact interval if it fits in signed 64 bits, else TOP (the
+    operation may wrap around, losing all bound information)."""
+    if INT64_MIN <= lo and hi <= INT64_MAX:
+        return Interval(lo, hi)
+    return TOP
+
+
+# -- arithmetic ------------------------------------------------------------
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    return _clamped(a.lo + b.lo, a.hi + b.hi)
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    return _clamped(a.lo - b.hi, a.hi - b.lo)
+
+
+def scale_add(scale: int, a: Interval, b: Interval) -> Interval:
+    """``scale*a + b`` (the s4addq/s8addq addressing idiom)."""
+    return _clamped(scale * a.lo + b.lo, scale * a.hi + b.hi)
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return _clamped(min(products), max(products))
+
+
+def sext32_of(raw: Interval) -> Interval:
+    """Result of sign-extending the low 32 bits of a computation whose
+    *true* (unwrapped) result lies in ``raw``: exact when the true
+    result already fits in 32 bits, else the full int32 range."""
+    if INT32.lo <= raw.lo and raw.hi <= INT32.hi:
+        return raw
+    return INT32
+
+
+def add32(a: Interval, b: Interval) -> Interval:
+    return sext32_of(_clamped(a.lo + b.lo, a.hi + b.hi))
+
+
+def sub32(a: Interval, b: Interval) -> Interval:
+    return sext32_of(_clamped(a.lo - b.hi, a.hi - b.lo))
+
+
+def mul32(a: Interval, b: Interval) -> Interval:
+    return sext32_of(mul(a, b))
+
+
+# -- bitwise ---------------------------------------------------------------
+
+
+def _sign_extension_hull(a: Interval, b: Interval) -> Interval:
+    """Sound result range for any bitwise combination of two values.
+
+    If ``x`` sign-extends from ``wa`` bits and ``y`` from ``wb`` bits,
+    then above ``W = max(wa, wb)`` every bit of ``x`` (and of ``y``) is
+    a copy of its sign bit, so every bit of ``f(x, y)`` above ``W`` is
+    the same function of the two sign bits — constant.  The result's
+    upper bits are therefore all-zero or all-one: it is narrow at
+    ``W``, i.e. lies in ``narrow_range(W)``.
+    """
+    w = max(a.width_bound(), b.width_bound())
+    if w >= WORD_WIDTH:
+        return TOP
+    lo, hi = narrow_range(w)
+    return Interval(lo, hi)
+
+
+def bit_and(a: Interval, b: Interval) -> Interval:
+    if a.is_constant and b.is_constant:
+        return const(a.lo & b.lo)
+    if a.lo >= 0 and b.lo >= 0:
+        # Non-negative: AND can only clear bits.
+        return Interval(0, min(a.hi, b.hi))
+    if a.lo >= 0:
+        return Interval(0, a.hi)    # b's sign is irrelevant: r <= a
+    if b.lo >= 0:
+        return Interval(0, b.hi)
+    return _sign_extension_hull(a, b)
+
+
+def bit_or(a: Interval, b: Interval) -> Interval:
+    if a.is_constant and b.is_constant:
+        return const(a.lo | b.lo)
+    hull = _sign_extension_hull(a, b)
+    if a.lo >= 0 and b.lo >= 0:
+        # Non-negative: OR can only set bits below the hull's cut.
+        return Interval(max(a.lo, b.lo), hull.hi)
+    return hull
+
+
+def bit_xor(a: Interval, b: Interval) -> Interval:
+    if a.is_constant and b.is_constant:
+        return const(a.lo ^ b.lo)
+    hull = _sign_extension_hull(a, b)
+    if a.lo >= 0 and b.lo >= 0:
+        return Interval(0, hull.hi)
+    return hull
+
+
+def bit_not(a: Interval) -> Interval:
+    return Interval(~a.hi, ~a.lo)
+
+
+def bit_bic(a: Interval, b: Interval) -> Interval:
+    """``a & ~b``."""
+    return bit_and(a, bit_not(b))
+
+
+def bit_ornot(a: Interval, b: Interval) -> Interval:
+    """``a | ~b``."""
+    return bit_or(a, bit_not(b))
+
+
+def bit_eqv(a: Interval, b: Interval) -> Interval:
+    """``a ^ ~b``."""
+    return bit_xor(a, bit_not(b))
+
+
+# -- shifts ----------------------------------------------------------------
+
+
+def _shift_amount(b: Interval) -> Interval:
+    """The effective shift count ``b & 0x3F``: ``b`` itself when it is
+    provably in range, otherwise anything in 0..63."""
+    if 0 <= b.lo and b.hi <= 63:
+        return b
+    return Interval(0, 63)
+
+
+def shl(a: Interval, b: Interval) -> Interval:
+    amount = _shift_amount(b)
+    if a.lo >= 0:
+        return _clamped(a.lo << amount.lo, a.hi << amount.hi)
+    if amount.is_constant:
+        return _clamped(a.lo << amount.lo, a.hi << amount.lo)
+    return TOP
+
+
+def shr_logical(a: Interval, b: Interval) -> Interval:
+    amount = _shift_amount(b)
+    if a.lo >= 0:
+        return Interval(a.lo >> amount.hi, a.hi >> amount.lo)
+    if amount.lo >= 1:
+        # Even a negative pattern becomes a non-negative 64-amount.lo
+        # bit value once at least one zero is shifted in.
+        return Interval(0, (1 << (64 - amount.lo)) - 1)
+    return TOP
+
+
+def shr_arith(a: Interval, b: Interval) -> Interval:
+    amount = _shift_amount(b)
+    if amount.is_constant:
+        return Interval(a.lo >> amount.lo, a.hi >> amount.lo)
+    # Any arithmetic shift moves a value toward 0 (or -1): the result
+    # lies between the original and the -1..0 band.
+    return Interval(min(a.lo, -1), max(a.hi, 0))
+
+
+# -- byte selects ----------------------------------------------------------
+
+
+def zapnot(a: Interval, b: Interval) -> Interval:
+    """Keep the bytes of ``a`` selected by ``b``, zero the rest."""
+    if b.is_constant:
+        mask = b.lo & 0xFF
+        if not mask & 0x80:
+            # Sign byte cleared: result is a non-negative value built
+            # from the kept low bytes.
+            top_byte = max((i for i in range(8) if mask & (1 << i)),
+                           default=-1)
+            return Interval(0, (1 << (8 * (top_byte + 1))) - 1)
+    if a.lo >= 0:
+        return Interval(0, a.hi)    # zeroing bytes cannot increase it
+    return TOP

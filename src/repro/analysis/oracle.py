@@ -1,0 +1,234 @@
+"""Differential oracle: check the static analysis against a live run.
+
+The analyzer's claims are *refutable*: every interval concretizes to a
+set of register values, and the simulator produces the actual values.
+This module attaches to a :class:`~repro.core.machine.Machine` and
+checks, instruction by instruction, the **static ⊆ dynamic** direction
+of the paper's width story:
+
+* every architected operand/result value lies inside its static
+  interval (so "provably narrow" facts can never meet a dynamically
+  wide value — the zero/ones detector of Figure 3 *must* tag them
+  narrow);
+* every architected control transfer follows a recovered CFG edge;
+* every operation that dynamically joins an ALU pack on the good path
+  is statically pack-eligible, which makes the static candidate count
+  a true upper bound on the packing the issue stage can ever find.
+
+Wrong-path (speculative) instructions are exempt from value checks:
+the feed executes them with mispredicted register state that may lie
+outside any architected path the analysis reasons about (a wrong-path
+``ret`` can even fall through to unrelated code).  Their *pack
+accounting* is still bounded — by instruction class, which is
+path-independent.
+
+Checks are per-instance, not per-profile: the oracle intercepts the
+feed (shadowing :meth:`Feed.next` on the instance) and subscribes to
+the machine's event bus, so no event or value escapes it.  Violations
+are collected, not raised, so a report can show all of them; tests
+call :meth:`DifferentialOracle.assert_clean`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import WidthAnalysis, analyze
+from repro.bitwidth.tags import tag_value
+from repro.core.feed import DynInst
+from repro.core.machine import Machine
+from repro.isa.opcodes import PACKABLE_CLASSES
+from repro.isa.semantics import to_signed
+from repro.obs.events import Event, IssueEvent, PackJoinEvent
+from repro.packing.pack import REPLAY_OPS
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One refuted static claim (seq/index pin down the instance)."""
+
+    kind: str           # "operand" | "result" | "tag" | "edge" | "pack"
+    seq: int
+    index: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] seq={self.seq} "
+                f"inst#{self.index}: {self.detail}")
+
+
+@dataclass
+class _IssueInfo:
+    """What the pack checks need to know about a fetched instruction."""
+
+    index: int
+    spec: bool
+    packable_class: bool
+    pack_possible: bool
+
+
+class DifferentialOracle:
+    """Attach static-analysis checks to one machine's execution."""
+
+    def __init__(self, machine: Machine,
+                 analysis: WidthAnalysis | None = None) -> None:
+        self.machine = machine
+        self.analysis = analysis or analyze(machine.program)
+        self.cfg = self.analysis.cfg
+        self.violations: list[OracleViolation] = []
+        #: instruction instances whose values were checked
+        self.checked = 0
+        #: static upper bound on packable issues (accumulated per issue)
+        self.static_pack_bound = 0
+        #: dynamically packed operations, counted exactly as
+        #: ``CoreStats.packed_ops`` counts them (a pack "happens" when
+        #: its second member joins, paying for leader + follower).
+        self.observed_packed = 0
+        self._by_seq: dict[int, _IssueInfo] = {}
+        self._last_good_index: int | None = None
+        self._program_len = len(machine.program)
+        self._attach()
+
+    # -- wiring ------------------------------------------------------------
+
+    def _attach(self) -> None:
+        feed = self.machine.feed
+        original_next = feed.next
+
+        def next_with_oracle() -> DynInst | None:
+            dyn = original_next()
+            if dyn is not None:
+                self._on_dyn(dyn)
+            return dyn
+
+        # Instance-attribute shadowing: only *this* feed is observed.
+        feed.next = next_with_oracle  # type: ignore[method-assign]
+        self.machine.subscribe(self._on_event)
+
+    # -- per-instruction value and edge checks -----------------------------
+
+    def _on_dyn(self, dyn: DynInst) -> None:
+        index = dyn.index
+        in_program = 0 <= index < self._program_len
+        facts = self.analysis.facts[index] if in_program else None
+        self._by_seq[dyn.seq] = _IssueInfo(
+            index=index,
+            spec=dyn.spec,
+            packable_class=dyn.op_class in PACKABLE_CLASSES
+            or dyn.inst.opcode in REPLAY_OPS,
+            pack_possible=facts is not None and facts.pack_possible,
+        )
+        if dyn.spec:
+            return      # wrong-path state is outside the analysis
+
+        # Architected control must stay on recovered CFG edges.  The
+        # previous good instruction's successor is this one even across
+        # a misprediction: recovery resumes at its actual_next.
+        if (self._last_good_index is not None and in_program
+                and not self.cfg.is_edge(self._last_good_index, index)):
+            self._violate("edge", dyn,
+                          f"transfer {self._last_good_index} -> {index} "
+                          f"is not a CFG edge")
+        self._last_good_index = index if in_program else None
+        if not in_program:
+            return      # implicit HALT off the end; nothing to check
+
+        if facts is None:
+            self._violate("edge", dyn,
+                          "architected execution reached an instruction "
+                          "the analysis proved unreachable")
+            return
+
+        self.checked += 1
+        a = to_signed(dyn.a_val)
+        b = to_signed(dyn.b_val)
+        if not facts.a.contains(a):
+            self._violate("operand", dyn,
+                          f"a={a} outside static {facts.a}")
+        if not facts.b.contains(b):
+            self._violate("operand", dyn,
+                          f"b={b} outside static {facts.b}")
+        if dyn.result is None or facts.result is None:
+            return
+        signed_result = to_signed(dyn.result)
+        if not facts.result.contains(signed_result):
+            self._violate("result", dyn,
+                          f"result={signed_result} outside "
+                          f"static {facts.result}")
+            return
+        # The headline invariant: statically-proven-narrow results must
+        # be tagged narrow by the detect circuit on the produced value.
+        tag = tag_value(dyn.result)
+        if facts.result_narrow16 and not tag.narrow16:
+            self._violate("tag", dyn,
+                          f"proven narrow16 but detector tagged "
+                          f"wide: result={signed_result}")
+        if facts.result_narrow33 and not tag.narrow33:
+            self._violate("tag", dyn,
+                          f"proven narrow33 but detector tagged "
+                          f"wide: result={signed_result}")
+
+    # -- pack accounting via the event bus ---------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, IssueEvent):
+            info = self._by_seq.get(event.seq)
+            if info is None:
+                return
+            # Bound: a good-path issue may pack only if statically
+            # eligible; a wrong-path issue only if its class allows
+            # packing at all (class membership is path-independent).
+            if info.pack_possible if not info.spec \
+                    else info.packable_class:
+                self.static_pack_bound += 1
+        elif isinstance(event, PackJoinEvent):
+            # Mirrors Machine._count_pack_member: size==2 pays for
+            # leader + follower, each later join pays for itself.
+            self.observed_packed += 2 if event.size == 2 else 1
+            self._check_packed(event.seq)
+            if event.size == 2:
+                self._check_packed(event.leader_seq)
+
+    def _check_packed(self, seq: int) -> None:
+        info = self._by_seq.get(seq)
+        if info is None or info.spec:
+            return      # wrong-path packing is outside the static claim
+        if not info.pack_possible:
+            facts = self.analysis.facts[info.index]
+            self.violations.append(OracleViolation(
+                kind="pack", seq=seq, index=info.index,
+                detail=f"packed at issue but statically ineligible "
+                       f"(a={facts.a if facts else None}, "
+                       f"b={facts.b if facts else None})"))
+
+    # -- reporting ---------------------------------------------------------
+
+    def _violate(self, kind: str, dyn: DynInst, detail: str) -> None:
+        self.violations.append(OracleViolation(
+            kind=kind, seq=dyn.seq, index=dyn.index,
+            detail=f"{dyn.inst}: {detail}"))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise with every violation listed (test entry point)."""
+        if self.violations:
+            listing = "\n".join(str(v) for v in self.violations[:20])
+            extra = len(self.violations) - 20
+            if extra > 0:
+                listing += f"\n... and {extra} more"
+            raise AssertionError(
+                f"{len(self.violations)} static/dynamic soundness "
+                f"violation(s) on {self.machine.program.name}:\n"
+                f"{listing}")
+
+    def report(self) -> dict:
+        """Summary counters for the CLI / experiment rendering."""
+        return {
+            "checked": self.checked,
+            "violations": len(self.violations),
+            "static_pack_bound": self.static_pack_bound,
+            "observed_packed": self.observed_packed,
+        }

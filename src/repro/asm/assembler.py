@@ -12,6 +12,8 @@ flow into the paper's bitwidth statistics.
 
 from __future__ import annotations
 
+import sys
+
 from repro.asm.layout import CODE_BASE, DATA_BASE, STACK_TOP
 from repro.isa.instruction import Instruction, Program
 from repro.isa.opcodes import CONDITIONAL_BRANCHES, Opcode, OpClass, op_class
@@ -23,17 +25,46 @@ _DISP_MIN, _DISP_MAX = -32768, 32767
 
 
 class AssemblerError(Exception):
-    """Raised for malformed assembly (bad literals, unknown labels, ...)."""
+    """Raised for malformed assembly (bad literals, unknown labels, ...).
+
+    When the emitting call site is known the message is prefixed
+    ``file:line:`` and ``mnemonic:``, and both are also available as
+    attributes so tools can format their own diagnostics.
+    """
+
+    def __init__(self, message: str, *, mnemonic: str | None = None,
+                 source: tuple[str, int] | None = None) -> None:
+        self.mnemonic = mnemonic
+        self.source = source
+        prefix = ""
+        if source is not None:
+            prefix += f"{source[0]}:{source[1]}: "
+        if mnemonic is not None:
+            prefix += f"{mnemonic}: "
+        super().__init__(prefix + message)
+
+
+def _caller_site() -> tuple[str, int] | None:
+    """``(file, line)`` of the nearest caller outside this module —
+    the workload-builder statement that asked for the emission."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:
+        return None
+    return frame.f_code.co_filename, frame.f_lineno
 
 
 class _Fixup:
     """A branch whose target label is not yet resolved."""
 
-    __slots__ = ("index", "label")
+    __slots__ = ("index", "label", "source")
 
-    def __init__(self, index: int, label: str) -> None:
+    def __init__(self, index: int, label: str,
+                 source: tuple[str, int] | None = None) -> None:
         self.index = index
         self.label = label
+        self.source = source
 
 
 class Assembler:
@@ -59,6 +90,7 @@ class Assembler:
         self.name = name
         self.base_pc = base_pc
         self._instructions: list[Instruction] = []
+        self._sources: list[tuple[str, int] | None] = []
         self._labels: dict[str, int] = {}
         self._fixups: list[_Fixup] = []
         self._image: dict[int, int] = {}
@@ -70,7 +102,8 @@ class Assembler:
     def label(self, name: str) -> None:
         """Define ``name`` at the current instruction position."""
         if name in self._labels:
-            raise AssemblerError(f"duplicate label {name!r}")
+            raise AssemblerError(f"duplicate label {name!r}",
+                                 source=_caller_site())
         self._labels[name] = len(self._instructions)
 
     def here(self) -> int:
@@ -104,6 +137,7 @@ class Assembler:
 
     def _emit(self, inst: Instruction) -> None:
         self._instructions.append(inst)
+        self._sources.append(_caller_site())
 
     # -- operate format -------------------------------------------------------
 
@@ -118,18 +152,23 @@ class Assembler:
         cls = op_class(opcode)
         if cls not in (OpClass.INT_ARITH, OpClass.INT_MULT,
                        OpClass.INT_LOGIC, OpClass.INT_SHIFT):
-            raise AssemblerError(f"{mnemonic} is not an operate-format opcode")
+            raise AssemblerError("not an operate-format opcode",
+                                 mnemonic=mnemonic, source=_caller_site())
         if opcode in (Opcode.LDA, Opcode.LDAH):
-            raise AssemblerError("use lda()/li() for address arithmetic")
+            raise AssemblerError("use lda()/li() for address arithmetic",
+                                 mnemonic=mnemonic, source=_caller_site())
         if isinstance(rb, int):
             if not 0 <= rb <= _OPERATE_LITERAL_MAX:
                 raise AssemblerError(
-                    f"operate literal {rb} outside 0..255; build it with li()")
+                    f"operate literal {rb} outside 0..255; build it with li()",
+                    mnemonic=mnemonic, source=_caller_site())
             self._emit(Instruction(opcode, ra=reg_index(ra), rb=None,
                                    rd=reg_index(rd), imm=rb))
         else:
             if rb is None:
-                raise AssemblerError(f"{mnemonic} needs a second operand")
+                raise AssemblerError("needs a second operand",
+                                     mnemonic=mnemonic,
+                                     source=_caller_site())
             self._emit(Instruction(opcode, ra=reg_index(ra),
                                    rb=reg_index(rb), rd=reg_index(rd)))
 
@@ -137,7 +176,9 @@ class Assembler:
             high: bool = False) -> None:
         """Emit ``lda rd, disp(ra)`` (or ``ldah`` when ``high``)."""
         if not _DISP_MIN <= disp <= _DISP_MAX:
-            raise AssemblerError(f"displacement {disp} outside 16-bit range")
+            raise AssemblerError(f"displacement {disp} outside 16-bit range",
+                                 mnemonic="ldah" if high else "lda",
+                                 source=_caller_site())
         opcode = Opcode.LDAH if high else Opcode.LDA
         self._emit(Instruction(opcode, ra=reg_index(ra), rd=reg_index(rd),
                                imm=disp))
@@ -178,7 +219,8 @@ class Assembler:
                 return
         # Full 64-bit constant: two 32-bit halves joined by a shift.
         if reg_index(rd) == reg_index("at"):
-            raise AssemblerError("li of a 64-bit constant clobbers 'at'")
+            raise AssemblerError("li of a 64-bit constant clobbers 'at'",
+                                 mnemonic="li", source=_caller_site())
         self.li(rd, signed >> 32)
         self.op("sll", rd, rd, 32)
         self.li("at", value & 0xFFFF_FFFF)
@@ -206,8 +248,9 @@ class Assembler:
         """Emit a load ``rd = mem[base + disp]``."""
         opcode = Opcode(mnemonic)
         if op_class(opcode) is not OpClass.LOAD:
-            raise AssemblerError(f"{mnemonic} is not a load")
-        self._check_disp(disp)
+            raise AssemblerError("not a load", mnemonic=mnemonic,
+                                 source=_caller_site())
+        self._check_disp(disp, mnemonic)
         self._emit(Instruction(opcode, rb=reg_index(base), rd=reg_index(rd),
                                imm=disp))
 
@@ -216,14 +259,16 @@ class Assembler:
         """Emit a store ``mem[base + disp] = rs``."""
         opcode = Opcode(mnemonic)
         if op_class(opcode) is not OpClass.STORE:
-            raise AssemblerError(f"{mnemonic} is not a store")
-        self._check_disp(disp)
+            raise AssemblerError("not a store", mnemonic=mnemonic,
+                                 source=_caller_site())
+        self._check_disp(disp, mnemonic)
         self._emit(Instruction(opcode, ra=reg_index(rs), rb=reg_index(base),
                                imm=disp))
 
-    def _check_disp(self, disp: int) -> None:
+    def _check_disp(self, disp: int, mnemonic: str) -> None:
         if not _DISP_MIN <= disp <= _DISP_MAX:
-            raise AssemblerError(f"displacement {disp} outside 16-bit range")
+            raise AssemblerError(f"displacement {disp} outside 16-bit range",
+                                 mnemonic=mnemonic, source=_caller_site())
 
     # -- control flow ----------------------------------------------------------------
 
@@ -236,22 +281,28 @@ class Assembler:
         opcode = Opcode(mnemonic)
         if opcode in CONDITIONAL_BRANCHES and opcode is not Opcode.BR:
             if len(args) != 2:
-                raise AssemblerError(f"{mnemonic} needs (reg, label)")
+                raise AssemblerError("needs (reg, label)",
+                                     mnemonic=mnemonic,
+                                     source=_caller_site())
             reg, target = args
             inst = Instruction(opcode, ra=reg_index(reg))
         elif opcode is Opcode.BR:
             if len(args) != 1:
-                raise AssemblerError("br needs (label,)")
+                raise AssemblerError("needs (label,)", mnemonic="br",
+                                     source=_caller_site())
             target = args[0]
             inst = Instruction(opcode)
         else:
-            raise AssemblerError(f"{mnemonic} is not a direct branch")
-        self._fixups.append(_Fixup(len(self._instructions), target))
+            raise AssemblerError("not a direct branch", mnemonic=mnemonic,
+                                 source=_caller_site())
+        self._fixups.append(_Fixup(len(self._instructions), target,
+                                   source=_caller_site()))
         self._emit(inst)
 
     def bsr(self, target: str, rd: str | int = "ra") -> None:
         """Call a label, saving the return address in ``rd``."""
-        self._fixups.append(_Fixup(len(self._instructions), target))
+        self._fixups.append(_Fixup(len(self._instructions), target,
+                                   source=_caller_site()))
         self._emit(Instruction(Opcode.BSR, rd=reg_index(rd)))
 
     def jmp(self, rb: str | int) -> None:
@@ -274,13 +325,17 @@ class Assembler:
         instructions = list(self._instructions)
         for fixup in self._fixups:
             if fixup.label not in self._labels:
-                raise AssemblerError(f"undefined label {fixup.label!r}")
+                mnemonic = instructions[fixup.index].opcode.value
+                raise AssemblerError(f"undefined label {fixup.label!r}",
+                                     mnemonic=mnemonic,
+                                     source=fixup.source)
             old = instructions[fixup.index]
             instructions[fixup.index] = Instruction(
                 old.opcode, ra=old.ra, rb=old.rb, rd=old.rd, imm=old.imm,
                 target=self._labels[fixup.label])
         return Program(instructions=instructions, base_pc=self.base_pc,
-                       image=dict(self._image), name=self.name)
+                       image=dict(self._image), name=self.name,
+                       srcmap=list(self._sources))
 
 
 def standard_prologue(asm: Assembler) -> None:

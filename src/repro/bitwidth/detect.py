@@ -79,6 +79,22 @@ def effective_width(value: int) -> int:
     return max(1, value.bit_length())
 
 
+def narrow_range(width: int) -> tuple[int, int]:
+    """Signed bounds ``(lo, hi)`` of the values that are narrow at
+    ``width``.
+
+    :func:`is_narrow` accepts exactly the two's-complement values whose
+    upper bits are all zero or all one — as *signed* quadwords those are
+    ``[-2**width, 2**width - 1]``.  The static width analyzer
+    (:mod:`repro.analysis`) uses these bounds as the concretization of
+    its "provably narrow at ``width``" facts, so the static and dynamic
+    detectors agree by construction.
+    """
+    if width >= WORD_WIDTH:
+        return -(1 << 63), (1 << 63) - 1
+    return -(1 << width), (1 << width) - 1
+
+
 def operand_pair_width(a: int, b: int) -> int:
     """Effective width of an operand *pair* — the larger of the two.
 

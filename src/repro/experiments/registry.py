@@ -86,4 +86,5 @@ def _ensure_loaded() -> None:
         load_zero_detect,
         fig10_packing_speedup,
         fig11_ipc,
+        lint_static,
     )

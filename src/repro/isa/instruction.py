@@ -122,7 +122,10 @@ class Program:
 
     ``base_pc`` is the simulated address of instruction 0.  ``image``
     maps byte addresses to initial data bytes (the ``.data`` section).
-    ``entry`` is the starting instruction index.
+    ``entry`` is the starting instruction index.  ``srcmap``, when the
+    assembler provides it, maps each instruction index to the
+    ``(file, line)`` of the emitting call site, so diagnostics can
+    point at workload source rather than instruction numbers.
     """
 
     instructions: list[Instruction]
@@ -130,6 +133,13 @@ class Program:
     image: dict[int, int] = field(default_factory=dict)
     entry: int = 0
     name: str = "program"
+    srcmap: list[tuple[str, int] | None] | None = None
+
+    def source_of(self, index: int) -> tuple[str, int] | None:
+        """``(file, line)`` that emitted instruction ``index``, if known."""
+        if self.srcmap is None or not 0 <= index < len(self.srcmap):
+            return None
+        return self.srcmap[index]
 
     def __len__(self) -> int:
         return len(self.instructions)

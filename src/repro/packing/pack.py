@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import PackingConfig
 from repro.core.ruu import RUUEntry
-from repro.isa.opcodes import PACKABLE_CLASSES, Opcode
+from repro.isa.opcodes import PACKABLE_CLASSES, OpClass, Opcode
 
 #: Operations eligible for replay packing.  The paper restricts the
 #: speculation to arithmetic where "in most arithmetic operations only
@@ -33,6 +33,34 @@ REPLAY_OPS = frozenset(
 )
 
 _HIGH48_SHIFT = 16
+
+
+def static_pack_candidate(op_class: OpClass, opcode: Opcode,
+                          a_may_narrow16: bool,
+                          b_may_narrow16: bool) -> tuple[bool, bool]:
+    """Static analogue of the issue-time candidate rules, used by the
+    width analyzer (:mod:`repro.analysis`) to upper-bound packing.
+
+    Returns ``(full_possible, replay_possible)``:
+
+    * *full*: the operation could ever satisfy rule 2 (both operands
+      narrow at 16) — requires a packable class and that *neither*
+      operand is statically provably wide;
+    * *replay*: the operation could ever be a Section 5.3 replay
+      candidate — an add/sub flavour with at least one possibly-narrow
+      operand.
+
+    Soundness: a dynamically-narrow operand value is, by the interval
+    analysis' soundness, inside its static interval, so "tagged narrow
+    at runtime" implies "may be narrow statically".  Hence every
+    dynamic candidate is a static candidate and the static count is an
+    upper bound on issue-time packing opportunities.
+    """
+    full = (op_class in PACKABLE_CLASSES
+            and a_may_narrow16 and b_may_narrow16)
+    replay = (opcode in REPLAY_OPS
+              and (a_may_narrow16 or b_may_narrow16))
+    return full, replay
 
 
 @dataclass

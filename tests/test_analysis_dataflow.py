@@ -1,0 +1,149 @@
+"""Dataflow analyzer tests: exact constants, loop fixpoints, CFG."""
+
+from repro.analysis import analyze, build_cfg
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.asm.layout import DATA_BASE, STACK_TOP
+from repro.isa.semantics import to_signed, to_unsigned
+from repro.workloads.registry import all_workloads
+
+
+def _analyze(build):
+    asm = Assembler("t")
+    build(asm)
+    return analyze(asm.assemble())
+
+
+def test_li_constants_are_exact():
+    """li() expansions (lda/ldah/shift chains) fold back to the exact
+    constant — the basis for proving address widths statically."""
+    for value in (0, 1, -1, 0x7FFF, -0x8000, 0x12345, DATA_BASE,
+                  STACK_TOP, DATA_BASE + 0x4000, -(1 << 40),
+                  0x1234_5678_9ABC_DEF0):
+        asm = Assembler("t")
+        asm.li("t0", value)
+        asm.halt()
+        analysis = analyze(asm.assemble())
+        last = analysis.facts[len(analysis.program) - 2]
+        signed = to_signed(to_unsigned(value))
+        assert last.result is not None and last.result.is_constant
+        assert last.result.lo == signed, f"li({value:#x})"
+
+
+def test_addresses_prove_narrow33_not_16():
+    """The paper's Figure 1 jump at 33 bits, statically: data addresses
+    above 2^32 are provably narrow33 yet provably not narrow16."""
+    def build(asm):
+        buf = asm.alloc("buf", 64)
+        asm.li("s0", buf)
+        asm.load("ldq", "t0", "s0", 8)
+        asm.halt()
+
+    analysis = _analyze(build)
+    # The li() result and the ldq address base are that exact constant.
+    load_index = len(analysis.program) - 2
+    facts = analysis.facts[load_index]
+    assert facts.a.is_constant and facts.a.lo >= DATA_BASE
+    assert facts.a.fits(33) and not facts.a.may_fit(16)
+
+
+def test_loop_counter_proved_narrow16():
+    """A bounded down-counter converges to a narrow16 interval via
+    threshold widening."""
+    def build(asm):
+        asm.li("t0", 1000)          # counter
+        asm.clr("t1")               # accumulator
+        asm.label("loop")
+        asm.op("addq", "t1", "t1", 3)
+        asm.op("subq", "t0", "t0", 1)
+        asm.br("bgt", "t0", "loop")
+        asm.halt()
+
+    analysis = _analyze(build)
+    sub_index = next(
+        i for i, inst in enumerate(analysis.program.instructions)
+        if inst.opcode.value == "subq")
+    facts = analysis.facts[sub_index]
+    # The counter operand stays within [<=1000] across the fixpoint.
+    assert facts.a.may_fit(16)
+    assert facts.a.hi <= 1000
+    assert facts.result.fits(16)
+
+
+def test_subword_load_results_are_bounded():
+    def build(asm):
+        buf = asm.alloc("buf", 64)
+        asm.li("s0", buf)
+        asm.load("ldbu", "t0", "s0", 0)
+        asm.load("ldwu", "t1", "s0", 0)
+        asm.load("ldl", "t2", "s0", 0)
+        asm.halt()
+
+    analysis = _analyze(build)
+    by_op = {inst.opcode.value: analysis.facts[i]
+             for i, inst in enumerate(analysis.program.instructions)}
+    assert by_op["ldbu"].result.lo == 0 and by_op["ldbu"].result.hi == 255
+    assert by_op["ldwu"].result.hi == 0xFFFF
+    assert by_op["ldl"].result.fits(32)
+    assert not by_op["ldl"].result.fits(16)
+
+
+def test_unreachable_block_has_no_facts():
+    def build(asm):
+        asm.li("t0", 5)
+        asm.br("br", "end")
+        asm.label("dead")
+        asm.op("addq", "t1", "t1", 1)   # unreachable
+        asm.label("end")
+        asm.halt()
+
+    analysis = _analyze(build)
+    program = analysis.program
+    dead = next(i for i, inst in enumerate(program.instructions)
+                if inst.opcode.value == "addq")
+    assert analysis.facts[dead] is None
+    assert dead not in analysis.cfg.reachable
+
+
+def test_cfg_conditional_has_two_successors():
+    def build(asm):
+        asm.li("t0", 3)
+        asm.label("loop")
+        asm.op("subq", "t0", "t0", 1)
+        asm.br("bgt", "t0", "loop")
+        asm.halt()
+
+    asm = Assembler("t")
+    build(asm)
+    program = asm.assemble()
+    cfg = build_cfg(program)
+    branch = next(i for i, inst in enumerate(program.instructions)
+                  if inst.is_conditional)
+    succs = cfg.successors(branch)
+    assert set(succs) == {program.instructions[branch].target, branch + 1}
+
+
+def test_all_workloads_converge_with_full_coverage():
+    """The fixpoint terminates on every registered workload and yields
+    facts for every reachable instruction (xlisp exercises bsr/ret and
+    the conservative return-point edges)."""
+    for workload in all_workloads():
+        analysis = analyze(workload.build(1))
+        for index in analysis.cfg.reachable:
+            assert analysis.facts[index] is not None, (
+                f"{workload.name}: no facts for reachable "
+                f"instruction {index}")
+        # Entry-state registers are architecturally zero, so the stack
+        # pointer setup must analyze to the exact STACK_TOP constant.
+        summary = analysis.summary()
+        assert summary["reachable"] > 0
+
+
+def test_prologue_stack_pointer_is_exact():
+    asm = Assembler("t")
+    standard_prologue(asm)
+    asm.halt()
+    analysis = analyze(asm.assemble())
+    last_write = max(i for i, f in enumerate(analysis.facts)
+                     if f is not None and f.result is not None)
+    facts = analysis.facts[last_write]
+    assert facts.result.is_constant and facts.result.lo == STACK_TOP

@@ -1,0 +1,112 @@
+"""Property tests for the abstract interval domain.
+
+The central soundness obligation: for any opcode and concrete operand
+values, running the *abstract* transfer on singleton intervals must
+produce an interval containing the *concrete* result of
+:func:`repro.isa.semantics.compute`.  Since every transfer function is
+monotone in its arguments, singleton soundness extends to all
+intervals, so this test pins the whole analyzer to the ISA semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import intervals as iv
+from repro.analysis.dataflow import WidthAnalysis
+from repro.bitwidth.detect import is_narrow
+from repro.isa.instruction import Program
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import compute, to_signed, to_unsigned
+
+#: Operate-format opcodes the analyzer models (everything compute()
+#: accepts except control transfers).
+_OPERATES = (
+    Opcode.ADDQ, Opcode.SUBQ, Opcode.ADDL, Opcode.SUBL,
+    Opcode.S4ADDQ, Opcode.S8ADDQ, Opcode.LDA, Opcode.LDAH,
+    Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPULT,
+    Opcode.CMPULE, Opcode.MULQ, Opcode.MULL,
+    Opcode.AND, Opcode.BIS, Opcode.XOR, Opcode.BIC,
+    Opcode.ORNOT, Opcode.EQV, Opcode.CMOVEQ, Opcode.CMOVNE,
+    Opcode.ZAPNOT, Opcode.SLL, Opcode.SRL, Opcode.SRA,
+    Opcode.EXTBL, Opcode.EXTWL,
+)
+
+#: Value pool biased toward the paper's interesting widths: small
+#: constants, the 16/33-bit cut neighborhoods, and full-width values.
+values = st.one_of(
+    st.integers(min_value=-(1 << 16), max_value=1 << 16),
+    st.integers(min_value=-(1 << 33) - 4, max_value=(1 << 33) + 4),
+    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+)
+
+_ANALYSIS = WidthAnalysis(Program(instructions=[]))
+
+
+def _abstract(op, a, b, old):
+    return _ANALYSIS._compute(op, iv.const(a), iv.const(b), iv.const(old))
+
+
+@given(op=st.sampled_from(_OPERATES), a=values, b=values, old=values)
+@settings(max_examples=400)
+def test_singleton_transfer_contains_concrete_result(op, a, b, old):
+    concrete = compute(op, to_unsigned(a), to_unsigned(b), to_unsigned(old))
+    abstract = _abstract(op, a, b, old)
+    assert abstract.contains(to_signed(concrete)), (
+        f"{op}: concrete {to_signed(concrete)} outside {abstract} "
+        f"for a={a}, b={b}")
+
+
+@given(op=st.sampled_from(_OPERATES), a=values, b=values, old=values,
+       width=st.sampled_from((16, 33)))
+@settings(max_examples=400)
+def test_proven_narrow_results_are_dynamically_narrow(op, a, b, old, width):
+    """fits(w) on the abstract result is a *proof* about the detect
+    hardware's verdict on the concrete result."""
+    concrete = compute(op, to_unsigned(a), to_unsigned(b), to_unsigned(old))
+    abstract = _abstract(op, a, b, old)
+    if abstract.fits(width):
+        assert is_narrow(concrete, width)
+    if abstract.excludes(width):
+        assert not is_narrow(concrete, width)
+
+
+@given(a=values, b=values, c=values)
+def test_join_is_an_upper_bound(a, b, c):
+    joined = iv.const(a).join(iv.const(b))
+    assert joined.contains(a) and joined.contains(b)
+    bigger = joined.join(iv.const(c))
+    assert bigger.contains(a) and bigger.contains(b) and bigger.contains(c)
+
+
+@given(a=values, others=st.lists(values, max_size=40))
+def test_widen_covers_inputs_and_chains_are_finite(a, others):
+    """Every widening covers what it saw, and a widening chain changes
+    at most once per threshold per bound — the termination argument of
+    the fixpoint loop."""
+    current = iv.const(a)
+    changes = 0
+    for v in others + [iv.INT64_MIN, iv.INT64_MAX, a]:
+        widened = current.widen(current.join(iv.const(v)))
+        assert widened.contains(v) and widened.contains(a)
+        assert widened.lo <= current.lo and widened.hi >= current.hi
+        if widened != current:
+            changes += 1
+        current = widened
+    # Each change snaps a bound outward to a strictly farther member of
+    # the finite threshold set, so changes are bounded regardless of
+    # how many values the chain absorbs.
+    assert changes <= 2 * len(iv._THRESHOLDS)
+
+
+@given(v=values, width=st.sampled_from((1, 8, 15, 16, 32, 33, 48, 64)))
+def test_fits_matches_hardware_detect(v, width):
+    """Interval.fits concretizes to exactly the zero/ones-detect set."""
+    single = iv.const(v)
+    assert single.fits(width) == is_narrow(to_unsigned(v), width)
+    assert single.may_fit(width) == is_narrow(to_unsigned(v), width)
+
+
+@given(v=values)
+def test_from_u64_round_trips_patterns(v):
+    pattern = to_unsigned(v)
+    assert iv.from_u64(pattern) == iv.const(to_signed(pattern))

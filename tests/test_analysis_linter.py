@@ -1,0 +1,83 @@
+"""Program linter: each rule fires on a crafted bad program and stays
+quiet on the registered workloads (which must be lint-clean)."""
+
+from repro.analysis import lint_program
+from repro.analysis.linter import max_severity
+from repro.asm.assembler import Assembler
+from repro.isa.instruction import Instruction, Program
+from repro.isa.opcodes import Opcode
+from repro.workloads.registry import all_workloads
+
+
+def _codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def test_zero_register_write_flagged():
+    asm = Assembler("t")
+    asm.op("addq", "zero", "t0", 1)     # result discarded
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert "L002" in _codes(diags)
+    assert max_severity(diags) == "warning"
+
+
+def test_unreachable_block_flagged():
+    asm = Assembler("t")
+    asm.br("br", "end")
+    asm.op("addq", "t0", "t0", 1)       # dead
+    asm.label("end")
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert "L003" in _codes(diags)
+
+
+def test_never_written_register_read_flagged():
+    asm = Assembler("t")
+    asm.op("addq", "t0", "s5", 1)       # s5 is never written
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    l004 = [d for d in diags if d.code == "L004"]
+    assert l004 and "s5" in l004[0].message
+
+
+def test_bad_branch_target_is_error():
+    # Hand-built program: the assembler itself refuses bad labels, so
+    # construct the out-of-range target directly.
+    program = Program(instructions=[
+        Instruction(Opcode.BR, target=99),
+        Instruction(Opcode.HALT),
+    ])
+    diags = lint_program(program)
+    assert "L001" in _codes(diags)
+    assert max_severity(diags) == "error"
+
+
+def test_indirect_jump_is_informational():
+    asm = Assembler("t")
+    asm.li("t0", 0x10000)
+    asm.jmp("t0")
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert "L005" in _codes(diags)
+    assert all(d.severity != "error" for d in diags if d.code == "L005")
+
+
+def test_diagnostics_carry_source_locations():
+    asm = Assembler("t")
+    asm.op("addq", "zero", "t0", 1)
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    flagged = next(d for d in diags if d.code == "L002")
+    assert flagged.location is not None
+    path, line = flagged.location.rsplit(":", 1)
+    assert path.endswith("test_analysis_linter.py")
+    assert line.isdigit() and int(line) > 0
+
+
+def test_registered_workloads_are_lint_clean():
+    for workload in all_workloads():
+        diags = lint_program(workload.build(1))
+        worst = max_severity(diags)
+        assert worst in (None, "info"), (
+            f"{workload.name}: {[str(d) for d in diags]}")

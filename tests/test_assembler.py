@@ -210,6 +210,55 @@ class TestLoadImmediate:
             asm.li("at", 0x1122334455667788)
 
 
+class TestDiagnostics:
+    """Assembler errors point at the emitting source line and name the
+    offending mnemonic; programs carry a source map."""
+
+    def test_error_carries_source_line_and_mnemonic(self):
+        asm = Assembler()
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.op("addq", "t0", "t0", 999)  # literal out of range
+        err = excinfo.value
+        assert err.mnemonic == "addq"
+        assert err.source is not None
+        path, line = err.source
+        assert path.endswith("test_assembler.py")
+        assert line > 0
+        assert f"{path}:{line}: addq:" in str(err)
+
+    def test_undefined_label_points_at_branch_site(self):
+        asm = Assembler()
+        asm.br("br", "nowhere")  # the offending emission
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.assemble()
+        err = excinfo.value
+        assert err.mnemonic == "br"
+        assert err.source is not None
+        assert err.source[0].endswith("test_assembler.py")
+        assert "nowhere" in str(err)
+
+    def test_displacement_error_names_mnemonic(self):
+        asm = Assembler()
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.load("ldq", "t0", "sp", 40000)
+        assert excinfo.value.mnemonic == "ldq"
+
+    def test_program_source_map(self):
+        asm = Assembler()
+        asm.nop()
+        asm.li("t0", 0x12345678)  # multi-instruction expansion
+        program = asm.assemble()
+        assert program.srcmap is not None
+        assert len(program.srcmap) == len(program)
+        source = program.source_of(0)
+        assert source is not None and source[0].endswith(
+            "test_assembler.py")
+        # Every li()-expanded instruction maps back to the one builder
+        # statement that asked for it.
+        li_sites = {program.source_of(i) for i in range(1, len(program))}
+        assert len(program) > 2 and len(li_sites) == 1
+
+
 class TestProgramGeometry:
     def test_pc_mapping_roundtrip(self):
         asm = Assembler()

@@ -1,0 +1,89 @@
+"""Width-tag lattice monotonicity (paper Figure 3 hardware semantics).
+
+The narrow-width detectors induce a lattice on values: narrower is
+lower.  These properties pin down the direction every component agrees
+on — widening a value (or an interval) can only move tags from narrow
+toward wide, never the reverse.  The static analyzer's soundness
+argument leans on exactly this: joins and widenings lose narrowness
+monotonically, so a "provably narrow" verdict survives abstraction.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import intervals as iv
+from repro.bitwidth.detect import effective_width, is_narrow
+from repro.bitwidth.tags import tag_value
+from repro.isa.semantics import to_signed, to_unsigned
+
+signed_values = st.one_of(
+    st.integers(min_value=-(1 << 17), max_value=1 << 17),
+    st.integers(min_value=-(1 << 34), max_value=1 << 34),
+    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+)
+widths = st.integers(min_value=1, max_value=64)
+
+
+@given(v=signed_values, w1=widths, w2=widths)
+def test_is_narrow_monotone_in_width(v, w1, w2):
+    """A value narrow at w is narrow at every wider cut."""
+    lo, hi = sorted((w1, w2))
+    pattern = to_unsigned(v)
+    if is_narrow(pattern, lo):
+        assert is_narrow(pattern, hi)
+
+
+@given(v=signed_values, w=widths)
+def test_is_narrow_agrees_with_effective_width(v, w):
+    pattern = to_unsigned(v)
+    assert is_narrow(pattern, w) == (effective_width(pattern) <= w)
+
+
+@given(v=signed_values)
+def test_tag_value_consistent_with_interval_fits(v):
+    """The dynamic tag and the singleton interval answer identically —
+    the bridge the differential oracle crosses."""
+    tag = tag_value(to_unsigned(v))
+    single = iv.const(v)
+    assert tag.narrow16 == single.fits(16)
+    assert tag.narrow33 == single.fits(33)
+
+
+@given(a=signed_values, b=signed_values, w=st.sampled_from((16, 33)))
+def test_interval_join_never_gains_narrowness(a, b, w):
+    """Widening an operand's interval can only lose narrow verdicts:
+    if the join fits w, both inputs fit w — so a wide input can never
+    produce a narrow join (the analyzer analogue of 'widening a value
+    never turns a wide tag narrow')."""
+    ia, ib = iv.const(a), iv.const(b)
+    joined = ia.join(ib)
+    if joined.fits(w):
+        assert ia.fits(w) and ib.fits(w)
+    # Contrapositive, on the dynamic tags:
+    if not tag_value(to_unsigned(a)).narrow16 and w == 16:
+        assert not joined.fits(16)
+
+
+@given(a=signed_values, b=signed_values, w=st.sampled_from((16, 33)))
+def test_interval_widen_never_gains_narrowness(a, b, w):
+    current = iv.const(a)
+    widened = current.widen(current.join(iv.const(b)))
+    if widened.fits(w):
+        assert current.fits(w)
+
+
+@given(a=signed_values, b=signed_values)
+def test_bitwise_hull_width_bound(a, b):
+    """The sign-extension hull argument: any bitwise combination of two
+    values is narrow at the max of their effective widths."""
+    wa = effective_width(to_unsigned(a))
+    wb = effective_width(to_unsigned(b))
+    w = max(wa, wb)
+    for result in (a & b, a | b, a ^ b):
+        assert is_narrow(to_unsigned(result), w), (
+            f"{a} op {b} -> {result} not narrow at {w}")
+
+
+@given(v=signed_values)
+def test_width_bound_matches_effective_width_on_singletons(v):
+    assert iv.const(v).width_bound() == effective_width(to_unsigned(v))
