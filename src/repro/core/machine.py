@@ -137,6 +137,20 @@ class Machine:
     def remove_probe(self, probe) -> None:
         self._probes.remove(probe)
 
+    @property
+    def cycle(self) -> int:
+        """Current simulated cycle (read-only observability accessor)."""
+        return self._cycle
+
+    def pending_completions(self) -> dict[int, list["RUUEntry"]]:
+        """Scheduled writebacks keyed by completion cycle.
+
+        Live view for probes (the chaos harness's replay-drop injector
+        perturbs entries here before their writeback cycle); treat as
+        read-only structure — mutate only entry fields, never the dict.
+        """
+        return self._completions
+
     def enable_stall_attribution(self) -> StallAttribution:
         """Turn on top-down issue-slot accounting; returns the
         accumulating :class:`~repro.obs.attribution.StallAttribution`."""

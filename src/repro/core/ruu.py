@@ -110,3 +110,45 @@ class RUU:
         completed or already retired."""
         producer = self._inflight.get(seq)
         return producer is None or producer.completed
+
+    def audit(self) -> list[str]:
+        """Structural accounting invariants; returns violations found.
+
+        Checked per cycle by the invariant guard layer
+        (:mod:`repro.robust.guards`): the age-ordered window and the
+        seq index must describe the same population, occupancy must
+        respect the configured caps, and the LSQ counter must equal a
+        recount of in-flight memory operations.
+        """
+        problems: list[str] = []
+        if len(self.entries) != len(self._inflight):
+            problems.append(
+                f"RUU window holds {len(self.entries)} entries but the "
+                f"in-flight index holds {len(self._inflight)}")
+        else:
+            for entry in self.entries:
+                if self._inflight.get(entry.seq) is not entry:
+                    problems.append(
+                        f"RUU entry seq {entry.seq} missing from (or "
+                        f"stale in) the in-flight index")
+                    break
+        if len(self.entries) > self.size:
+            problems.append(
+                f"RUU occupancy {len(self.entries)} exceeds size "
+                f"{self.size}")
+        mem_count = sum(1 for e in self.entries if e.dyn.inst.is_mem)
+        if mem_count != self._lsq_count:
+            problems.append(
+                f"LSQ counter {self._lsq_count} != recount of in-flight "
+                f"memory ops {mem_count}")
+        if self._lsq_count > self.lsq_size:
+            problems.append(
+                f"LSQ occupancy {self._lsq_count} exceeds size "
+                f"{self.lsq_size}")
+        for entry in self.entries:
+            if entry.squashed:
+                problems.append(
+                    f"squashed entry seq {entry.seq} still occupies the "
+                    f"RUU window")
+                break
+        return problems

@@ -14,8 +14,23 @@ Invalidation is by construction, not by mtime:
   results;
 * the entry embeds :data:`SCHEMA`; entries written by an older layout
   are rejected (and overwritten on the next store);
-* unreadable or structurally corrupt entries are treated as misses —
-  a damaged cache degrades to fresh simulation, never to a crash.
+* the entry embeds an **integrity digest** — sha256 over the canonical
+  JSON of everything else in the entry — so corruption that still
+  parses (a flipped bit inside a counter literal) is caught, not
+  served as plausible-but-wrong numbers.
+
+Corrupt entries are **quarantined**, never silently treated as misses:
+the damaged file moves to ``<cache_dir>/quarantine/`` next to a
+``<name>.reason.json`` sidecar recording what was wrong with it, a
+one-line warning is logged, and the configured ``on_quarantine``
+callback fires (the run engine counts these in
+:class:`~repro.exec.engine.EngineStats.cache_quarantined`).  The job
+then re-simulates fresh — a damaged cache degrades to fresh
+simulation, never to a crash *and never invisibly*.
+
+Stale-but-well-formed entries (an older :data:`SCHEMA`, a fingerprint
+from a different config) are ordinary misses, not corruption: they are
+left in place to be overwritten by the next store.
 
 Stores are atomic (write-to-temp + ``os.replace``) so a killed run
 cannot leave a half-written entry behind.
@@ -23,43 +38,162 @@ cannot leave a half-written entry behind.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 import os
 from pathlib import Path
+from typing import Callable
 
 from repro.exec.jobs import Job
 
 #: Cache entry schema (bump on any breaking change to the serialized
-#: result layout — old entries then read as misses).
-SCHEMA = "repro-exec/1"
+#: result layout — old entries then read as misses).  ``/2`` added the
+#: integrity digest.
+SCHEMA = "repro-exec/2"
+
+#: Schema prefix identifying any well-formed entry of this cache,
+#: current or stale — anything else claiming to be an entry is corrupt.
+_SCHEMA_PREFIX = "repro-exec/"
+
+QUARANTINE_DIR = "quarantine"
+
+logger = logging.getLogger(__name__)
+
+
+def integrity_digest(entry: dict) -> str:
+    """sha256 over the canonical JSON of an entry, minus the digest
+    field itself."""
+    body = {k: v for k, v in entry.items() if k != "integrity"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CorruptEntry(Exception):
+    """A cache file exists but cannot be trusted (internal signal)."""
+
+    def __init__(self, reason: str, error: str | None = None) -> None:
+        self.reason = reason
+        self.error = error
+        super().__init__(reason)
 
 
 class ResultCache:
-    """Directory of serialized run results, keyed by job content."""
+    """Directory of serialized run results, keyed by job content.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``on_quarantine(path, reason)`` — optional callback fired after a
+    corrupt entry has been moved into the quarantine directory.
+    """
+
+    def __init__(self, directory: str | Path,
+                 on_quarantine: Callable[[Path, str], None] | None = None,
+                 ) -> None:
         self.directory = Path(directory)
+        self.on_quarantine = on_quarantine
 
     def path(self, job: Job) -> Path:
         return self.directory / f"{job.stem()}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIR
+
+    # ----------------------------------------------------------------- load
+
     def load(self, job: Job) -> dict | None:
-        """The stored payload for ``job``, or None on any kind of miss
-        (absent, unreadable, wrong schema, fingerprint mismatch)."""
+        """The stored payload for ``job``, or None on any kind of miss.
+
+        Misses split two ways: *stale* entries (absent, older schema,
+        fingerprint mismatch) are plain misses; *corrupt* entries
+        (unparseable, wrong shape, integrity mismatch) are quarantined
+        first — see :meth:`quarantine`.
+        """
         path = self.path(job)
+        if not path.exists():
+            return None
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            entry = self._read(path)
+        except CorruptEntry as corrupt:
+            self.quarantine(path, corrupt.reason, error=corrupt.error)
             return None
-        if not isinstance(entry, dict):
-            return None
-        if entry.get("schema") != SCHEMA:
+        if entry is None:
             return None
         if entry.get("fingerprint") != job.fingerprint():
-            return None
-        if "result" not in entry:
-            return None
+            return None     # stale: a different config, not corruption
         return entry
+
+    def _read(self, path: Path) -> dict | None:
+        """Parse and verify one entry file.
+
+        Returns the entry, or None for a *stale* (old-schema) entry;
+        raises :class:`CorruptEntry` for anything untrustworthy.
+        """
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as err:
+            raise CorruptEntry("unreadable entry file", error=str(err))
+        try:
+            entry = json.loads(text)
+        except ValueError as err:
+            raise CorruptEntry("entry is not valid JSON", error=str(err))
+        if not isinstance(entry, dict):
+            raise CorruptEntry("entry is not a JSON object")
+        schema = entry.get("schema")
+        if not isinstance(schema, str) or not schema.startswith(
+                _SCHEMA_PREFIX):
+            raise CorruptEntry(f"unrecognized schema tag {schema!r}")
+        if schema != SCHEMA:
+            return None     # stale layout: plain miss, overwritten later
+        if "result" not in entry:
+            raise CorruptEntry("entry is missing its result payload")
+        stored = entry.get("integrity")
+        actual = integrity_digest(entry)
+        if stored != actual:
+            raise CorruptEntry(
+                "integrity digest mismatch",
+                error=f"stored {str(stored)[:16]}..., "
+                      f"recomputed {actual[:16]}...")
+        return entry
+
+    # ----------------------------------------------------------- quarantine
+
+    def quarantine(self, path: Path, reason: str,
+                   error: str | None = None) -> Path:
+        """Move a corrupt entry aside (with a structured reason file)
+        instead of silently treating it as a miss."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = self.quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, dest)
+        reason_record = {
+            "entry": path.name,
+            "quarantined_as": dest.name,
+            "reason": reason,
+            "error": error,
+            "schema_expected": SCHEMA,
+        }
+        reason_path = dest.with_name(dest.name + ".reason.json")
+        reason_path.write_text(
+            json.dumps(reason_record, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8")
+        logger.warning("cache entry %s quarantined to %s: %s%s",
+                       path, dest, reason,
+                       f" ({error})" if error else "")
+        if self.on_quarantine is not None:
+            self.on_quarantine(dest, reason)
+        return dest
+
+    def quarantined(self) -> list[Path]:
+        """Every quarantined entry file (reason sidecars excluded)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return [p for p in sorted(self.quarantine_dir.iterdir())
+                if not p.name.endswith(".reason.json")]
+
+    # ---------------------------------------------------------------- store
 
     def store(self, job: Job, result: dict,
               manifest: dict | None = None) -> Path:
@@ -72,6 +206,7 @@ class ResultCache:
             "result": result,
             "manifest": manifest,
         }
+        entry["integrity"] = integrity_digest(entry)
         path = self.path(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
@@ -81,7 +216,8 @@ class ResultCache:
         return path
 
     def entries(self) -> list[Path]:
-        """Every entry file currently in the cache directory."""
+        """Every entry file currently in the cache directory
+        (quarantined files live in a subdirectory and are excluded)."""
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*.json"))

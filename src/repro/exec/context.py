@@ -26,10 +26,34 @@ class RunContext:
     refresh: bool = False
     #: worker processes for fresh simulations (1 = run in-process).
     jobs: int = 1
+    #: per-job wall-clock timeout in seconds (None = wait forever).
+    #: Enforced only in pooled mode (``jobs > 1``): an in-process run
+    #: cannot be preempted.
+    timeout: float | None = None
+    #: re-attempts per job after the first failed try.
+    retries: int = 2
+    #: base backoff before the first retry, in seconds (grows
+    #: exponentially with deterministic jitter; see
+    #: :class:`repro.robust.retry.RetryPolicy`).
+    backoff: float = 0.05
+    #: fault tokens for the chaos harness, as ``(workload, token)``
+    #: pairs — the matching worker applies the fault before simulating
+    #: (:mod:`repro.robust.faults`).  Dicts are accepted and frozen.
+    faults: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults",
+                               tuple(sorted(self.faults.items())))
+        else:
+            object.__setattr__(self, "faults", tuple(
+                (str(w), str(t)) for w, t in self.faults))
         # Accept plain strings for the directories.
         if self.obs_dir is not None and not isinstance(self.obs_dir, Path):
             object.__setattr__(self, "obs_dir", Path(self.obs_dir))
@@ -40,3 +64,10 @@ class RunContext:
     @property
     def wants_obs(self) -> bool:
         return self.obs_dir is not None
+
+    def fault_for(self, workload: str) -> str | None:
+        """The injected-fault token for a workload, if any."""
+        for name, token in self.faults:
+            if name == workload:
+                return token
+        return None

@@ -16,6 +16,29 @@ Determinism: fresh results are collected in job-submission order (never
 through the same serialize/deserialize round trip the cache uses, so
 counters are bit-exact across all three tiers by construction.
 
+Fault tolerance (the robustness layer, :mod:`repro.robust`): each job
+gets a per-attempt wall-clock timeout (pooled mode), bounded retries
+with deterministic exponential backoff, and the pool is rebuilt — with
+only the *lost* jobs requeued — when a child process dies
+(``BrokenProcessPool``) or a hung job has to be killed.  Because a
+dead child breaks **every** pending future, a pool break charges no
+job an attempt; the next round instead runs each pending job in
+**isolation** (its own single-worker pool), where any failure —
+including killing the pool again — unambiguously belongs to that job.
+This keeps retry accounting fair *and* guarantees termination: a job
+that reliably kills its pool exhausts its own attempts, not its
+neighbors'.  Per-job outcomes land in a
+:class:`~repro.robust.report.RunReport`; :meth:`RunEngine.run_jobs`
+raises a typed :class:`~repro.robust.report.SuiteFailure` when jobs
+ultimately fail, while :meth:`RunEngine.run_jobs_report` returns the
+survivors plus the report so callers can degrade gracefully.
+
+Jobs that ultimately failed are remembered for the life of the
+process (like the memo, cleared by :func:`clear_memo` or bypassed by
+``refresh``): a figure renderer re-requesting a failed job gets an
+immediate failed outcome instead of re-simulating — or worse,
+crashing — during the render phase.
+
 :data:`GLOBAL_STATS` accumulates over every engine in the process; the
 CLI's end-of-suite summary and the CI warm-cache check ("zero fresh
 simulations") read it.
@@ -23,7 +46,14 @@ simulations") read it.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 
 from repro.core.machine import Machine, RunResult
@@ -33,16 +63,33 @@ from repro.exec.jobs import Job, dedupe
 from repro.exec.serialize import result_from_dict, result_to_dict
 from repro.obs.export import build_manifest, write_manifest
 from repro.obs.sampler import IntervalSampler
+from repro.robust.faults import apply_fault
+from repro.robust.report import (
+    FAILED,
+    OK,
+    TIMED_OUT,
+    JobOutcome,
+    RunReport,
+    SuiteFailure,
+)
+from repro.robust.retry import RetryPolicy
 from repro.workloads.registry import get_workload, resolve_warmup
 
 #: Process-wide result memo, shared by all engines (the figure modules'
 #: ``run()`` functions hit it after the engine pre-ran their jobs).
 _MEMO: dict[tuple, RunResult] = {}
 
+#: Jobs that exhausted their retries this process: key -> (status,
+#: error).  Render-phase re-requests short-circuit to a failed outcome
+#: instead of re-simulating behind the suite's back.
+_FAILED: dict[tuple, tuple[str, str]] = {}
+
 
 def clear_memo() -> None:
-    """Drop every memoized result (tests; the disk cache is untouched)."""
+    """Drop every memoized result and failure marker (tests; the disk
+    cache is untouched)."""
     _MEMO.clear()
+    _FAILED.clear()
 
 
 @dataclass
@@ -55,30 +102,54 @@ class EngineStats:
     cache_hits: int = 0        # rehydrated from the on-disk cache
     fresh_runs: int = 0        # actual simulations executed
     cache_stores: int = 0      # entries written to the on-disk cache
+    cache_quarantined: int = 0  # corrupt entries moved to quarantine/
+    job_retries: int = 0       # extra attempts beyond each job's first
+    jobs_timed_out: int = 0    # jobs whose every attempt hit the timeout
+    jobs_failed: int = 0       # jobs with no result after all attempts
+
+    _FIELDS = ("jobs_requested", "jobs_unique", "memo_hits", "cache_hits",
+               "fresh_runs", "cache_stores", "cache_quarantined",
+               "job_retries", "jobs_timed_out", "jobs_failed")
 
     def add(self, other: "EngineStats") -> None:
-        for name in ("jobs_requested", "jobs_unique", "memo_hits",
-                     "cache_hits", "fresh_runs", "cache_stores"):
+        for name in self._FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def summary(self) -> str:
-        return (f"{self.fresh_runs} fresh, {self.cache_hits} from disk "
+        text = (f"{self.fresh_runs} fresh, {self.cache_hits} from disk "
                 f"cache, {self.memo_hits} memoized "
                 f"({self.jobs_unique} unique of "
                 f"{self.jobs_requested} requested)")
+        extras = []
+        if self.cache_quarantined:
+            extras.append(f"{self.cache_quarantined} cache "
+                          f"entr{'y' if self.cache_quarantined == 1 else 'ies'}"
+                          f" quarantined")
+        if self.job_retries:
+            extras.append(f"{self.job_retries} retries")
+        if self.jobs_timed_out:
+            extras.append(f"{self.jobs_timed_out} timed out")
+        if self.jobs_failed:
+            extras.append(f"{self.jobs_failed} failed")
+        if extras:
+            text += "; " + ", ".join(extras)
+        return text
 
 
 #: Accumulated over every engine in this process.
 GLOBAL_STATS = EngineStats()
 
 
-def _simulate(job: Job, obs: bool) -> dict:
+def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
     """Execute one job (worker-side): warmup, detailed run, serialize.
 
     Returns ``{"result": <dict>, "manifest": <dict | None>}`` — plain
     JSON-safe data, equally happy to cross a process boundary or land
-    in the cache.
+    in the cache.  ``fault`` is a chaos-harness token
+    (:func:`repro.robust.faults.apply_fault`) interpreted before the
+    simulation starts.
     """
+    apply_fault(fault)
     workload = get_workload(job.workload)
     machine = Machine(workload.build(job.scale), job.config)
     sampler = None
@@ -97,35 +168,95 @@ def _simulate(job: Job, obs: bool) -> dict:
     return {"result": result_to_dict(result), "manifest": manifest}
 
 
+class _Attempts:
+    """Per-job attempt ledger for one batch of fresh jobs."""
+
+    def __init__(self, jobs: list[Job], policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.count: dict[tuple, int] = {job.key: 0 for job in jobs}
+        self.last_error: dict[tuple, str] = {}
+        self.last_status: dict[tuple, str] = {}
+
+    def charge(self, job: Job, status: str, error: str) -> None:
+        self.count[job.key] += 1
+        self.last_status[job.key] = status
+        self.last_error[job.key] = error
+
+    def exhausted(self, job: Job) -> bool:
+        return self.count[job.key] >= self.policy.max_attempts
+
+    def outcome(self, job: Job, status: str | None = None) -> JobOutcome:
+        """Terminal outcome for a job (success if ``status`` is OK)."""
+        if status == OK:
+            return JobOutcome(job, status=OK,
+                              attempts=self.count[job.key] + 1)
+        return JobOutcome(job,
+                          status=self.last_status.get(job.key, FAILED),
+                          attempts=self.count[job.key],
+                          error=self.last_error.get(job.key))
+
+
 class RunEngine:
     """Runs batches of jobs under one :class:`RunContext`."""
 
     def __init__(self, ctx: RunContext | None = None) -> None:
         self.ctx = ctx or RunContext()
         self.stats = EngineStats()
-        self._cache = (ResultCache(self.ctx.cache_dir)
+        self._cache = (ResultCache(self.ctx.cache_dir,
+                                   on_quarantine=self._on_quarantine)
                        if self.ctx.cache_dir is not None else None)
+
+    def _on_quarantine(self, path, reason: str) -> None:
+        self._bump(cache_quarantined=1)
 
     # ------------------------------------------------------------------ API
 
     def run_jobs(self, jobs: list[Job]) -> dict[tuple, RunResult]:
         """Run (or recall) every job; returns results keyed by
-        :attr:`Job.key`.  Duplicate jobs are executed once."""
+        :attr:`Job.key`.  Duplicate jobs are executed once.
+
+        Raises :class:`~repro.robust.report.SuiteFailure` (carrying the
+        full :class:`~repro.robust.report.RunReport`) if any job is
+        still failing after retries; callers that can render partial
+        results should use :meth:`run_jobs_report` instead.
+        """
+        results, report = self.run_jobs_report(jobs)
+        if not report.ok:
+            raise SuiteFailure(report)
+        return results
+
+    def run_jobs_report(
+            self, jobs: list[Job],
+    ) -> tuple[dict[tuple, RunResult], RunReport]:
+        """Like :meth:`run_jobs`, but degrade instead of raising:
+        returns the surviving results plus the per-job report."""
         unique = dedupe(jobs)
         self._bump(jobs_requested=len(jobs), jobs_unique=len(unique))
 
+        report = RunReport()
         results: dict[tuple, RunResult] = {}
         fresh: list[Job] = []
         for job in unique:
-            result = self._recall(job)
+            if job.key in _FAILED and not self.ctx.refresh:
+                status, error = _FAILED[job.key]
+                report.add(JobOutcome(job, status=status, attempts=0,
+                                      error=f"(failed earlier this "
+                                            f"process) {error}"))
+                continue
+            result, source = self._recall(job)
             if result is not None:
                 results[job.key] = result
+                report.add(JobOutcome(job, status=OK, attempts=0,
+                                      source=source))
             else:
                 fresh.append(job)
 
-        for job, payload in zip(fresh, self._execute(fresh)):
-            results[job.key] = self._absorb(job, payload)
-        return results
+        payloads = self._execute(fresh, report)
+        for job in fresh:
+            payload = payloads.get(job.key)
+            if payload is not None:
+                results[job.key] = self._absorb(job, payload)
+        return results, report
 
     def run(self, job: Job) -> RunResult:
         """Convenience single-job entry point."""
@@ -133,53 +264,266 @@ class RunEngine:
 
     # ------------------------------------------------------------- recall
 
-    def _recall(self, job: Job) -> RunResult | None:
-        """Serve a job from the memo or the disk cache, if allowed."""
+    def _recall(self, job: Job) -> tuple[RunResult | None, str]:
+        """Serve a job from the memo or the disk cache, if allowed;
+        returns ``(result, tier)``."""
         ctx = self.ctx
         if not ctx.use_cache or ctx.refresh:
-            return None
+            return None, "fresh"
         result = _MEMO.get(job.key)
         if result is not None:
             self._bump(memo_hits=1)
-            return result
+            return result, "memo"
         if self._cache is None:
-            return None
+            return None, "fresh"
         entry = self._cache.load(job)
         if entry is None:
-            return None
+            return None, "fresh"
         if ctx.wants_obs and entry.get("manifest") is None:
             # Obs artifacts were requested but this entry was produced
             # without instrumentation: only a fresh run can supply them.
-            return None
+            return None, "fresh"
         result = result_from_dict(entry["result"], config=job.config)
         self._bump(cache_hits=1)
         _MEMO[job.key] = result
         if ctx.wants_obs:
             write_manifest(ctx.obs_dir, entry["manifest"], stem=job.stem())
-        return result
+        return result, "cache"
 
     # ------------------------------------------------------------ execute
 
-    def _execute(self, fresh: list[Job]) -> list[dict]:
-        """Simulate every job in ``fresh``, payloads in job order."""
-        ctx = self.ctx
+    def _execute(self, fresh: list[Job],
+                 report: RunReport) -> dict[tuple, dict]:
+        """Simulate every job in ``fresh`` with retries; returns the
+        payloads of the survivors and records every outcome."""
         if not fresh:
-            return []
-        if ctx.jobs == 1 or len(fresh) == 1:
-            return [_simulate(job, ctx.wants_obs) for job in fresh]
-        workers = min(ctx.jobs, len(fresh))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_simulate, job, ctx.wants_obs)
-                       for job in fresh]
-            # Submission order, not completion order: merging stays
-            # deterministic regardless of worker scheduling.
-            return [future.result() for future in futures]
+            return {}
+        policy = RetryPolicy(retries=self.ctx.retries,
+                             backoff=self.ctx.backoff)
+        attempts = _Attempts(fresh, policy)
+        if self.ctx.jobs == 1:
+            payloads = self._execute_serial(fresh, attempts, report)
+        else:
+            payloads = self._execute_pooled(fresh, attempts, report)
+        for job in fresh:
+            outcome = report.outcome_of(job)
+            if outcome is not None and not outcome.ok:
+                _FAILED[job.key] = (outcome.status, outcome.error or "")
+                if outcome.status == TIMED_OUT:
+                    self._bump(jobs_timed_out=1)
+                else:
+                    self._bump(jobs_failed=1)
+        return payloads
+
+    def _execute_serial(self, fresh: list[Job], attempts: _Attempts,
+                        report: RunReport) -> dict[tuple, dict]:
+        """In-process execution with retries.  Timeouts cannot be
+        enforced here — a hung simulation hangs the process — so
+        ``ctx.timeout`` applies only in pooled mode."""
+        payloads: dict[tuple, dict] = {}
+        for job in fresh:
+            while True:
+                try:
+                    payload = _simulate(job, self.ctx.wants_obs,
+                                        self.ctx.fault_for(job.workload))
+                except Exception as err:  # noqa: BLE001 — worker boundary
+                    attempts.charge(job, FAILED, f"{type(err).__name__}: "
+                                                 f"{err}")
+                    if attempts.exhausted(job):
+                        report.add(attempts.outcome(job))
+                        break
+                    self._backoff(policy_delay=attempts.policy.delay(
+                        job.stem(), attempts.count[job.key]))
+                    continue
+                payloads[job.key] = payload
+                self._charge_success(job, attempts, report)
+                break
+        return payloads
+
+    def _execute_pooled(self, fresh: list[Job], attempts: _Attempts,
+                        report: RunReport) -> dict[tuple, dict]:
+        """Fan-out execution with pool-break recovery.
+
+        Round structure: a **fan-out** round submits every pending job
+        to one shared pool; a job is charged an attempt only for its
+        *own* worker exception or its own expired timeout.  A pool
+        break (dead child, or a hung job the engine had to kill the
+        pool over) charges nobody for the collateral — the unfinished
+        jobs requeue, and the next round runs in **isolation**: each
+        pending job alone in a single-worker pool, where every failure
+        mode unambiguously belongs to it.  After an isolation round
+        the engine returns to fan-out.
+        """
+        payloads: dict[tuple, dict] = {}
+        pending = list(fresh)
+        isolate_next = False
+        while pending:
+            self._sleep_backoff(pending, attempts)
+            if isolate_next:
+                pending = self._isolation_round(pending, attempts,
+                                                report, payloads)
+                isolate_next = False
+            else:
+                pending, broke = self._fanout_round(pending, attempts,
+                                                    report, payloads)
+                isolate_next = broke
+        return payloads
+
+    def _fanout_round(self, pending: list[Job], attempts: _Attempts,
+                      report: RunReport, payloads: dict[tuple, dict],
+                      ) -> tuple[list[Job], bool]:
+        """One shared-pool round; returns (still pending, pool broke)."""
+        ctx = self.ctx
+        workers = min(ctx.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: list[tuple[Job, Future]] = [
+            (job, pool.submit(_simulate, job, ctx.wants_obs,
+                              ctx.fault_for(job.workload)))
+            for job in pending]
+        requeue: list[Job] = []
+        broke = False
+        for job, future in futures:
+            if broke:
+                # The pool is already down: harvest finished results,
+                # requeue the rest without charging anyone.
+                if future.done() and not future.cancelled():
+                    self._harvest_done(job, future, attempts, report,
+                                       payloads, requeue)
+                else:
+                    requeue.append(job)
+                continue
+            try:
+                payload = future.result(timeout=ctx.timeout)
+            except FutureTimeout:
+                # This job's own deadline expired: charged.  The only
+                # way to reclaim the wedged worker is to put the whole
+                # pool down; the collateral jobs requeue uncharged.
+                attempts.charge(job, TIMED_OUT,
+                                f"no result within {ctx.timeout}s")
+                self._finish_or_requeue(job, attempts, report, requeue)
+                self._kill_pool(pool)
+                broke = True
+            except (BrokenExecutor, CancelledError) as err:
+                # A child died.  Every pending future fails with this,
+                # so the victim cannot be attributed: charge nobody,
+                # requeue everything unfinished, isolate next round.
+                requeue.append(job)
+                attempts.last_error.setdefault(
+                    job.key, f"pool broke: {type(err).__name__}: {err}")
+                broke = True
+            except Exception as err:  # noqa: BLE001 — worker boundary
+                attempts.charge(job, FAILED,
+                                f"{type(err).__name__}: {err}")
+                self._finish_or_requeue(job, attempts, report, requeue)
+            else:
+                payloads[job.key] = payload
+                self._charge_success(job, attempts, report)
+        if broke:
+            self._kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        return requeue, broke
+
+    def _isolation_round(self, pending: list[Job], attempts: _Attempts,
+                         report: RunReport,
+                         payloads: dict[tuple, dict]) -> list[Job]:
+        """Run each pending job alone in a fresh single-worker pool.
+
+        With no pool-mates, *every* failure — exception, timeout, even
+        killing the pool — belongs to the job and is charged, which is
+        what guarantees a reliably pool-killing job terminates instead
+        of recycling forever."""
+        ctx = self.ctx
+        requeue: list[Job] = []
+        for job in pending:
+            pool = ProcessPoolExecutor(max_workers=1)
+            future = pool.submit(_simulate, job, ctx.wants_obs,
+                                 ctx.fault_for(job.workload))
+            try:
+                payload = future.result(timeout=ctx.timeout)
+            except FutureTimeout:
+                attempts.charge(job, TIMED_OUT,
+                                f"no result within {ctx.timeout}s "
+                                f"(isolated)")
+                self._finish_or_requeue(job, attempts, report, requeue)
+                self._kill_pool(pool)
+                continue
+            except Exception as err:  # noqa: BLE001 — worker boundary
+                attempts.charge(job, FAILED,
+                                f"{type(err).__name__}: {err}")
+                self._finish_or_requeue(job, attempts, report, requeue)
+                self._kill_pool(pool)
+                continue
+            payloads[job.key] = payload
+            self._charge_success(job, attempts, report)
+            pool.shutdown(wait=True)
+        return requeue
+
+    # ------------------------------------------------- execute plumbing
+
+    def _harvest_done(self, job: Job, future: Future, attempts: _Attempts,
+                      report: RunReport, payloads: dict[tuple, dict],
+                      requeue: list[Job]) -> None:
+        """Collect a future that finished before the pool went down."""
+        try:
+            payload = future.result(timeout=0)
+        except (BrokenExecutor, CancelledError):
+            requeue.append(job)
+        except Exception as err:  # noqa: BLE001 — worker boundary
+            attempts.charge(job, FAILED, f"{type(err).__name__}: {err}")
+            self._finish_or_requeue(job, attempts, report, requeue)
+        else:
+            payloads[job.key] = payload
+            self._charge_success(job, attempts, report)
+
+    def _charge_success(self, job: Job, attempts: _Attempts,
+                        report: RunReport) -> None:
+        retries = attempts.count[job.key]
+        if retries:
+            self._bump(job_retries=retries)
+        report.add(attempts.outcome(job, status=OK))
+
+    def _finish_or_requeue(self, job: Job, attempts: _Attempts,
+                           report: RunReport, requeue: list[Job]) -> None:
+        if attempts.exhausted(job):
+            report.add(attempts.outcome(job))
+        else:
+            requeue.append(job)
+
+    def _sleep_backoff(self, pending: list[Job],
+                       attempts: _Attempts) -> None:
+        """One backoff sleep per retry round: the longest delay owed by
+        any already-charged pending job (deterministic; zero on the
+        first round)."""
+        delay = 0.0
+        for job in pending:
+            charged = attempts.count[job.key]
+            if charged:
+                delay = max(delay, attempts.policy.delay(job.stem(),
+                                                         charged))
+        self._backoff(delay)
+
+    @staticmethod
+    def _backoff(policy_delay: float) -> None:
+        if policy_delay > 0:
+            time.sleep(policy_delay)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Put a pool down hard: terminate children (the only way to
+        reclaim a wedged worker), then shut down without waiting."""
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _absorb(self, job: Job, payload: dict) -> RunResult:
         """Rehydrate one fresh payload and feed every result tier."""
         ctx = self.ctx
         result = result_from_dict(payload["result"], config=job.config)
         self._bump(fresh_runs=1)
+        _FAILED.pop(job.key, None)
         if ctx.use_cache:
             _MEMO[job.key] = result
             if self._cache is not None:

@@ -87,4 +87,5 @@ def _ensure_loaded() -> None:
         fig10_packing_speedup,
         fig11_ipc,
         lint_static,
+        chaos_robust,
     )

@@ -24,6 +24,7 @@ import sys
 import time
 
 from repro.exec import GLOBAL_STATS, RunContext, RunEngine
+from repro.robust.faults import parse_token
 from repro.experiments.registry import (
     Experiment,
     all_experiments,
@@ -61,7 +62,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write an observability run manifest "
                              "(sampler windows + stall attribution) for "
                              "every simulation into DIR")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock timeout (pooled mode "
+                             "only; a hung worker is killed and the "
+                             "job retried)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="re-attempts per failed job before giving "
+                             "up on it (default 2)")
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="WORKLOAD=TOKEN",
+                        help="chaos harness: make the worker simulating "
+                             "WORKLOAD apply fault TOKEN (crash | hang "
+                             "| die, optionally :sentinel_path for "
+                             "fire-once); repeatable")
     return parser
+
+
+def _parse_faults(specs: list[str],
+                  parser: argparse.ArgumentParser) -> tuple:
+    faults = []
+    for spec in specs:
+        workload, sep, token = spec.partition("=")
+        if not sep or not workload or not token:
+            parser.error(f"--inject-fault expects WORKLOAD=TOKEN, "
+                         f"got {spec!r}")
+        try:
+            parse_token(token)
+        except ValueError as err:
+            parser.error(f"--inject-fault {spec!r}: {err}")
+        faults.append((workload, token))
+    return tuple(faults)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,12 +112,17 @@ def main(argv: list[str] | None = None) -> int:
 
     registry = all_experiments()
     selected = [registry[name] for name in names]
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
     ctx = RunContext(
         obs_dir=args.obs_out,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         refresh=args.refresh,
         jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=_parse_faults(args.inject_fault, parser),
     )
     engine = RunEngine(ctx)
 
@@ -94,12 +130,23 @@ def main(argv: list[str] | None = None) -> int:
     # Phase 1: execute the union of every selected experiment's job set
     # (deduplicated, parallel, cached).  Renderers then hit the memo.
     jobs = [job for exp in selected for job in exp.jobs(args.scale)]
-    engine.run_jobs(jobs)
+    _, report = engine.run_jobs_report(jobs)
+    banner = report.banner()
+    if banner is not None:
+        print(banner + "\n")
 
     # Phase 2: render, in the order the experiments were requested.
+    # A renderer whose jobs failed degrades to a note, never a crash.
+    render_failures = 0
     for exp in selected:
         start = time.time()
-        print(exp.render(args.scale))
+        try:
+            print(exp.render(args.scale))
+        except Exception as err:  # noqa: BLE001 — degrade, don't crash
+            render_failures += 1
+            print(f"[{exp.name} NOT rendered: "
+                  f"{type(err).__name__}: {err}]\n")
+            continue
         print(f"[{exp.name} done in {time.time() - start:.1f}s]\n")
 
     print(f"[{len(selected)} experiment(s) in "
@@ -107,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
           f"engine: {GLOBAL_STATS.summary()}]")
     if args.obs_out:
         print(f"[obs manifests in {args.obs_out}]")
+    if not report.ok:
+        print(f"\n{banner}", file=sys.stderr)
+        print(report.summary_table(), file=sys.stderr)
+        return 1
+    if render_failures:
+        print(f"\n{render_failures} experiment(s) failed to render",
+              file=sys.stderr)
+        return 1
     return 0
 
 

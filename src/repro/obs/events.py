@@ -126,12 +126,30 @@ class SquashEvent(Event):
     seq: int
 
 
+@dataclass(frozen=True, slots=True)
+class InvariantViolationEvent(Event):
+    """A machine invariant guard fired (:mod:`repro.robust.guards`).
+
+    Emitted on the bus *before* the violation raises (or is collected
+    in chaos mode), so observability subscribers see guard firings
+    interleaved with the ordinary pipeline events that led up to them.
+    ``seq`` is -1 for violations not tied to one instruction (e.g. an
+    RUU accounting imbalance).
+    """
+
+    kind: ClassVar[str] = "invariant_violation"
+    check: str
+    seq: int = -1
+    detail: str = ""
+
+
 #: Every concrete event type, keyed by its ``kind`` tag.
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (FetchEvent, ICacheMissEvent, DispatchEvent, IssueEvent,
                 PackJoinEvent, ReplayTrapEvent, MispredictRecoverEvent,
-                CompleteEvent, CommitEvent, SquashEvent)
+                CompleteEvent, CommitEvent, SquashEvent,
+                InvariantViolationEvent)
 }
 
 #: Signature of a bus subscriber.

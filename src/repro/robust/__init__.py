@@ -1,0 +1,38 @@
+"""Robustness layer: fault-tolerant execution + invariant guards + chaos.
+
+Three pieces, mirroring the paper's own speculate-detect-recover loop
+(Section 5.3) at the infrastructure level:
+
+* :mod:`repro.robust.retry` / :mod:`repro.robust.report` — the
+  fault-tolerant run engine's policy (bounded deterministic retry) and
+  its per-job :class:`~repro.robust.report.RunReport`;
+* :mod:`repro.robust.guards` — :class:`~repro.robust.guards.GuardSet`,
+  runtime machine invariants (width-tag soundness, packed-result
+  semantics, replay-trap iff carry, RUU accounting);
+* :mod:`repro.robust.inject` / :mod:`repro.robust.chaos` /
+  :mod:`repro.robust.cli` — deterministic fault injectors and the
+  ``repro-chaos`` harness proving every fault is masked or detected.
+"""
+
+from repro.robust.guards import GuardSet, InvariantViolation
+from repro.robust.report import (
+    FAILED,
+    OK,
+    TIMED_OUT,
+    JobOutcome,
+    RunReport,
+    SuiteFailure,
+)
+from repro.robust.retry import RetryPolicy
+
+__all__ = [
+    "GuardSet",
+    "InvariantViolation",
+    "JobOutcome",
+    "RunReport",
+    "SuiteFailure",
+    "RetryPolicy",
+    "OK",
+    "FAILED",
+    "TIMED_OUT",
+]

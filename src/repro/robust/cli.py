@@ -1,0 +1,135 @@
+"""``repro-chaos``: the fault-injection harness CLI.
+
+Runs the (workload x injector) chaos matrix and/or the cache-tier
+corruption scenario, prints one verdict row per trial, and exits
+nonzero if any trial was a silent corruption or a guard false
+positive.
+
+    repro-chaos --seed 0 --all-injectors              # full matrix
+    repro-chaos -w ijpeg -i tag-flip --seed 7         # one trial
+    repro-chaos --cache-chaos bitflip --seed 0        # disk tier
+    repro-chaos --list                                # injector catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.robust.chaos import (
+    ALL_INJECTORS,
+    ChaosOutcome,
+    FALSE_POSITIVE,
+    SILENT,
+    cache_chaos,
+    chaos_suite,
+    summarize,
+)
+from repro.robust.inject import INJECTOR_TYPES
+from repro.workloads.registry import all_workloads
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Inject deterministic faults into the simulator and "
+                    "the run engine; assert every fault is masked or "
+                    "detected by an invariant guard.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="suite seed (per-trial seeds derive from it)")
+    parser.add_argument("-w", "--workload", action="append", default=None,
+                        help="workload(s) to perturb (default: all)")
+    parser.add_argument("-i", "--injector", action="append", default=None,
+                        choices=sorted(INJECTOR_TYPES),
+                        help="injector(s) to run")
+    parser.add_argument("--all-injectors", action="store_true",
+                        help="run the full injector catalog")
+    parser.add_argument("--cache-chaos", choices=["bitflip", "truncate"],
+                        help="also corrupt a disk-cache entry and demand "
+                             "quarantine + bit-exact recovery")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache directory for --cache-chaos "
+                             "(default: a fresh temporary directory)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor")
+    parser.add_argument("--window", type=int, default=None,
+                        help="cap the detailed-simulation window "
+                             "(committed instructions)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the injector catalog and exit")
+    return parser
+
+
+def _print_catalog() -> None:
+    print("injector catalog:")
+    for name, cls in INJECTOR_TYPES.items():
+        headline = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:18s} expect={cls.expect:8s} {headline}")
+    print("  cache-bitflip      expect=detected "
+          "XOR one bit of a stored cache entry (via --cache-chaos)")
+    print("  cache-truncate     expect=detected "
+          "cut a stored cache entry in half (via --cache-chaos)")
+
+
+def _print_outcomes(outcomes: list[ChaosOutcome]) -> None:
+    header = (f"{'workload':16s} {'injector':18s} {'verdict':15s} "
+              f"{'inj':>3s} {'viol':>4s}  detail")
+    print(header)
+    print("-" * len(header))
+    for o in outcomes:
+        detail = o.detail
+        if len(detail) > 70:
+            detail = detail[:67] + "..."
+        print(f"{o.workload:16s} {o.injector:18s} {o.verdict:15s} "
+              f"{o.injections:3d} {o.violations:4d}  {detail}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        _print_catalog()
+        return 0
+
+    injectors = args.injector or []
+    if args.all_injectors:
+        injectors = ALL_INJECTORS
+    if not injectors and not args.cache_chaos:
+        injectors = ALL_INJECTORS
+
+    workloads = args.workload or [w.name for w in all_workloads()]
+
+    outcomes: list[ChaosOutcome] = []
+    if injectors:
+        outcomes.extend(chaos_suite(
+            workloads, injectors, seed=args.seed,
+            scale=args.scale, window=args.window))
+
+    if args.cache_chaos:
+        if args.cache_dir is not None:
+            args.cache_dir.mkdir(parents=True, exist_ok=True)
+            outcomes.append(cache_chaos(
+                args.cache_dir, mode=args.cache_chaos, seed=args.seed))
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                outcomes.append(cache_chaos(
+                    Path(tmp), mode=args.cache_chaos, seed=args.seed))
+
+    _print_outcomes(outcomes)
+    counts = summarize(outcomes)
+    print(f"\nchaos: {counts[SILENT]} silent corruptions, "
+          f"{counts[FALSE_POSITIVE]} false positives, "
+          f"{counts['detected']} detected, {counts['masked']} masked, "
+          f"{counts['unarmed']} unarmed "
+          f"({len(outcomes)} trials, seed {args.seed})")
+    failures = counts[SILENT] + counts[FALSE_POSITIVE]
+    if failures:
+        print(f"FAIL: {failures} trial(s) violated the "
+              f"masked-or-detected contract", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Worker-side fault hooks for exercising the engine's failure paths.
+
+The fault-tolerant engine is only trustworthy if its failure handling
+is tested against *real* failures: a worker that raises, a worker that
+hangs past the timeout, a child process that dies and breaks the pool.
+These cannot be monkeypatched into a ``ProcessPoolExecutor`` child, so
+the engine threads an optional *fault token* (a plain string, hence
+picklable) through ``pool.submit`` into the worker, where
+:func:`apply_fault` interprets it **before** the simulation runs.
+
+Token grammar: ``kind`` or ``kind:sentinel_path``.
+
+* ``crash`` — raise :class:`InjectedWorkerError` (an ordinary worker
+  exception: the pool survives, the job retries);
+* ``hang`` — sleep far past any sane per-job timeout (the engine must
+  time the job out and put the pool down);
+* ``die`` — ``os._exit(3)``: the child vanishes without unwinding,
+  breaking the pool (``BrokenProcessPool`` on every pending future).
+
+With a ``sentinel_path``, the fault fires **once**: the first worker
+to claim the sentinel (atomic ``O_CREAT | O_EXCL``) faults, every
+later attempt runs clean — which is exactly the transient-failure
+shape retry logic exists for, and works across processes where a
+module-global flag would not.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class InjectedWorkerError(RuntimeError):
+    """The deliberate exception raised by a ``crash`` fault token."""
+
+
+#: How long a ``hang`` fault sleeps.  Not infinite — a misconfigured
+#: engine (no timeout) should eventually fail loudly, not wedge CI.
+HANG_SECONDS = 600.0
+
+
+def parse_token(token: str) -> tuple[str, str | None]:
+    """Split ``kind[:sentinel_path]``; validates the kind."""
+    kind, _, sentinel = token.partition(":")
+    if kind not in ("crash", "hang", "die"):
+        raise ValueError(f"unknown fault kind {kind!r} "
+                         f"(known: crash, hang, die)")
+    return kind, sentinel or None
+
+
+def _claim(sentinel: str | None) -> bool:
+    """Atomically claim a fire-once sentinel; True = this worker faults."""
+    if sentinel is None:
+        return True
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def apply_fault(token: str | None) -> None:
+    """Interpret a fault token inside a worker (no-op for ``None``)."""
+    if token is None:
+        return
+    kind, sentinel = parse_token(token)
+    if not _claim(sentinel):
+        return
+    if kind == "crash":
+        raise InjectedWorkerError(f"injected worker fault: {token}")
+    if kind == "hang":
+        time.sleep(HANG_SECONDS)  # lint: allow(ND002)
+        raise InjectedWorkerError(f"injected hang outlived {HANG_SECONDS}s: "
+                                  f"{token}")
+    if kind == "die":
+        os._exit(3)

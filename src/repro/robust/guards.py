@@ -1,0 +1,284 @@
+"""Machine invariant guards: runtime checks of the width-tag/packing
+contract.
+
+The PR-3 differential oracle proves the *static* side of the paper's
+width story; this module guards the *dynamic* side while a machine
+runs.  A :class:`GuardSet` rides one machine — feed wrap for value
+capture (the oracle's idiom), event-bus subscription for pipeline
+happenings, and a per-cycle probe for structural audits — and checks:
+
+* **tag** — per retired instruction, the operand width tags must be
+  *sound* against the actual values: a ``narrow16``/``narrow33`` claim
+  (the paper's ``zero48``/``zero31`` signals) on a value that does not
+  sign-extend from that width is a detector fault.  Tags may lawfully
+  under-claim (``UNKNOWN_TAG`` on loads without cache-side detect).
+* **semantics** — per retired operate instruction, the recorded result
+  must equal the ISA reference semantics recomputed from the operand
+  values.  Because packing is a pure issue-timing optimization, this
+  is exactly the "packed-pair results equal their unpacked reference
+  semantics" invariant: a packed lane that corrupted upper bits shows
+  up as a recompute mismatch.
+* **replay** — a Section 5.3 replay trap must fire *iff* the packed
+  16-bit lane carried into the wide operand's upper bits.  Both
+  directions are checked against the independently recomputed result,
+  never the (possibly corrupted) recorded one: a trap without a carry
+  is spurious, a speculatively packed completion with a carry is a
+  dropped trap.
+* **ruu** — per cycle, the RUU/LSQ occupancy and free-list accounting
+  must balance (:meth:`repro.core.ruu.RUU.audit`).
+
+Violations raise a typed :class:`InvariantViolation` carrying the
+cycle, instruction seq/index, and the assembler srcmap location — or
+are collected when ``collect=True`` (the chaos harness runs to
+completion and classifies).  Either way an
+:class:`~repro.obs.events.InvariantViolationEvent` is emitted on the
+machine's event bus first, so observability subscribers see guard
+firings alongside ordinary pipeline events.
+
+An unperturbed machine must never fire a guard (no false positives);
+the fault-injection harness (:mod:`repro.robust.inject`,
+``repro-chaos``) proves the guards catch what they claim to.
+"""
+
+from __future__ import annotations
+
+from repro.bitwidth.detect import is_narrow
+from repro.core.feed import DynInst
+from repro.core.machine import Machine
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.semantics import compute
+from repro.obs.events import (
+    CommitEvent,
+    CompleteEvent,
+    Event,
+    InvariantViolationEvent,
+    IssueEvent,
+    PackJoinEvent,
+    ReplayTrapEvent,
+    SquashEvent,
+)
+
+#: Instruction classes whose results the semantics guard recomputes.
+_OPERATE_CLASSES = frozenset({
+    OpClass.INT_ARITH, OpClass.INT_MULT, OpClass.INT_LOGIC,
+    OpClass.INT_SHIFT,
+})
+
+#: Conditional moves read the old destination value, which the guard
+#: cannot observe from outside the feed — exempt from recompute.
+_OLD_DEST_OPS = frozenset({Opcode.CMOVEQ, Opcode.CMOVNE})
+
+_HIGH48_SHIFT = 16
+
+
+class InvariantViolation(AssertionError):
+    """A machine invariant guard fired.
+
+    Carries everything needed to pin the violation to one dynamic
+    instruction instance: the guard ``check`` name, the machine
+    ``cycle``, the instruction ``seq``/``index``, and — when the
+    assembler provided a srcmap — the workload ``source`` location.
+    """
+
+    def __init__(self, check: str, detail: str, cycle: int,
+                 seq: int = -1, index: int = -1,
+                 source: tuple[str, int] | None = None) -> None:
+        self.check = check
+        self.detail = detail
+        self.cycle = cycle
+        self.seq = seq
+        self.index = index
+        self.source = source
+        where = f"cycle {cycle}"
+        if seq >= 0:
+            where += f", seq {seq}"
+        if index >= 0:
+            where += f", inst#{index}"
+        if source is not None:
+            where += f", {source[0]}:{source[1]}"
+        super().__init__(f"[{check}] {detail} ({where})")
+
+
+class GuardSet:
+    """Install the machine invariant guards on one live machine.
+
+    ``collect=False`` (default): the first violation raises.
+    ``collect=True``: violations accumulate in :attr:`violations` and
+    the run continues (chaos-harness mode).
+    """
+
+    def __init__(self, machine: Machine, collect: bool = False) -> None:
+        self.machine = machine
+        self.collect = collect
+        self.violations: list[InvariantViolation] = []
+        #: per-check counts of checks actually evaluated.
+        self.checks_run: dict[str, int] = {
+            "tag": 0, "semantics": 0, "replay": 0, "ruu": 0}
+        self._by_seq: dict[int, DynInst] = {}
+        #: seqs currently executing as speculative replay-pack members.
+        self._replay_inflight: set[int] = set()
+        self._install()
+
+    # ------------------------------------------------------------- wiring
+
+    def _install(self) -> None:
+        feed = self.machine.feed
+        original_next = feed.next
+
+        def next_with_guards() -> DynInst | None:
+            dyn = original_next()
+            # Warmup (fast mode) instructions never enter the pipeline;
+            # capturing them would only leak memory.
+            if dyn is not None and not feed.fast_mode:
+                self._by_seq[dyn.seq] = dyn
+            return dyn
+
+        # Instance-attribute shadowing, as the differential oracle does:
+        # only this machine's feed is observed.
+        feed.next = next_with_guards  # type: ignore[method-assign]
+        self.machine.subscribe(self._on_event)
+        self.machine.add_probe(self)
+
+    # ----------------------------------------------------------- plumbing
+
+    def _violate(self, check: str, detail: str,
+                 dyn: DynInst | None = None) -> None:
+        cycle = self.machine.cycle
+        seq = dyn.seq if dyn is not None else -1
+        index = dyn.index if dyn is not None else -1
+        source = (self.machine.program.source_of(index)
+                  if dyn is not None else None)
+        violation = InvariantViolation(check, detail, cycle=cycle,
+                                       seq=seq, index=index, source=source)
+        self.machine._emit(InvariantViolationEvent(
+            cycle=cycle, check=check, seq=seq, detail=detail))
+        self.violations.append(violation)
+        if not self.collect:
+            raise violation
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            listing = "\n".join(str(v) for v in self.violations[:20])
+            extra = len(self.violations) - 20
+            if extra > 0:
+                listing += f"\n... and {extra} more"
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s) on "
+                f"{self.machine.program.name}:\n{listing}")
+
+    # -------------------------------------------------------- event hooks
+
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, CommitEvent):
+            dyn = self._by_seq.pop(event.seq, None)
+            if dyn is not None:
+                self._check_tags(dyn)
+                self._check_semantics(dyn)
+            self._replay_inflight.discard(event.seq)
+        elif isinstance(event, IssueEvent):
+            if event.replay:
+                self._replay_inflight.add(event.seq)
+        elif isinstance(event, PackJoinEvent):
+            # A wide leader becomes speculative only when a companion
+            # joins; the machine sets replay_packed before emitting.
+            for seq in (event.seq, event.leader_seq):
+                entry = self.machine.ruu.get(seq)
+                if entry is not None and entry.replay_packed:
+                    self._replay_inflight.add(seq)
+        elif isinstance(event, ReplayTrapEvent):
+            self._check_trap_fired(event.seq)
+        elif isinstance(event, CompleteEvent):
+            if event.seq in self._replay_inflight:
+                self._replay_inflight.discard(event.seq)
+                self._check_trap_not_needed(event.seq)
+        elif isinstance(event, SquashEvent):
+            self._by_seq.pop(event.seq, None)
+            self._replay_inflight.discard(event.seq)
+
+    # --------------------------------------------------- per-retire checks
+
+    def _check_tags(self, dyn: DynInst) -> None:
+        """Width tags must sign-extend-soundly describe their values."""
+        self.checks_run["tag"] += 1
+        for name, tag, value in (("a", dyn.tag_a, dyn.a_val),
+                                 ("b", dyn.tag_b, dyn.b_val)):
+            # At most one violation per operand: one defect, one report
+            # (a wide-at-16 value is usually wide at 33 too, and the
+            # root cause is the same bogus claim).
+            if tag.narrow16 and not tag.narrow33:
+                self._violate("tag",
+                              f"{dyn.inst}: operand {name} tag claims "
+                              f"narrow16 without narrow33 (internally "
+                              f"inconsistent)", dyn)
+            elif tag.narrow16 and not is_narrow(value, 16):
+                self._violate("tag",
+                              f"{dyn.inst}: operand {name} tagged "
+                              f"narrow16 (zero48) but value "
+                              f"{value:#x} is wide at 16", dyn)
+            elif tag.narrow33 and not is_narrow(value, 33):
+                self._violate("tag",
+                              f"{dyn.inst}: operand {name} tagged "
+                              f"narrow33 (zero31) but value "
+                              f"{value:#x} is wide at 33", dyn)
+
+    def _check_semantics(self, dyn: DynInst) -> None:
+        """Recorded result == unpacked ISA reference semantics."""
+        if (dyn.op_class not in _OPERATE_CLASSES
+                or dyn.inst.opcode in _OLD_DEST_OPS
+                or dyn.result is None):
+            return
+        self.checks_run["semantics"] += 1
+        reference = compute(dyn.inst.opcode, dyn.a_val, dyn.b_val)
+        if dyn.result != reference:
+            self._violate("semantics",
+                          f"{dyn.inst}: result {dyn.result:#x} != "
+                          f"reference semantics {reference:#x} "
+                          f"(a={dyn.a_val:#x}, b={dyn.b_val:#x})", dyn)
+
+    # ------------------------------------------------------- replay checks
+
+    def _carry_out(self, dyn: DynInst) -> bool:
+        """Did the 16-bit lane result carry into the wide operand's
+        upper bits?  Computed from reference semantics, never from the
+        (possibly corrupted) recorded result."""
+        wide = dyn.b_val if dyn.tag_a.narrow16 else dyn.a_val
+        reference = compute(dyn.inst.opcode, dyn.a_val, dyn.b_val)
+        return (reference >> _HIGH48_SHIFT) != (wide >> _HIGH48_SHIFT)
+
+    def _check_trap_fired(self, seq: int) -> None:
+        """A replay trap fired: the carry must actually have occurred."""
+        dyn = self._by_seq.get(seq)
+        self._replay_inflight.discard(seq)
+        if dyn is None:
+            return
+        self.checks_run["replay"] += 1
+        if not self._carry_out(dyn):
+            self._violate("replay",
+                          f"{dyn.inst}: spurious replay trap — no carry "
+                          f"out of bit 15 (a={dyn.a_val:#x}, "
+                          f"b={dyn.b_val:#x})", dyn)
+
+    def _check_trap_not_needed(self, seq: int) -> None:
+        """A speculatively packed op completed without a trap: there
+        must have been no carry out of bit 15."""
+        dyn = self._by_seq.get(seq)
+        if dyn is None:
+            return
+        self.checks_run["replay"] += 1
+        if self._carry_out(dyn):
+            self._violate("replay",
+                          f"{dyn.inst}: replay trap dropped — carry out "
+                          f"of bit 15 with no trap (a={dyn.a_val:#x}, "
+                          f"b={dyn.b_val:#x})", dyn)
+
+    # ------------------------------------------------------ per-cycle audit
+
+    def on_cycle(self, machine: Machine) -> None:
+        """Probe hook: structural RUU/LSQ accounting audit."""
+        self.checks_run["ruu"] += 1
+        for problem in machine.ruu.audit():
+            self._violate("ruu", problem)

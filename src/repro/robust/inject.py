@@ -1,0 +1,258 @@
+"""Deterministic, seed-driven fault injectors for the chaos harness.
+
+Each injector deliberately perturbs live simulator state the way a
+hardware fault (or a simulator bug) would, and declares what the
+invariant guards (:mod:`repro.robust.guards`) owe it:
+
+* ``tag-flip`` — makes a *wide* operand value claim ``narrow16``
+  (an unsound ``zero48`` detector) → a **detected** tag violation;
+* ``tag-conservative`` — drops the narrow claim on a genuinely narrow
+  operand (a detector that under-reports) → **masked**: the paper's
+  tags may lawfully under-claim, so no guard fires and architected
+  results are untouched (only clock-gating/packing opportunity is
+  lost);
+* ``result-corrupt`` — flips upper bits of a produced result on the
+  result bus *and* in the architected register file → a **detected**
+  semantics violation at retire;
+* ``replay-drop`` — suppresses a due replay trap and commits the
+  packed-lane value (low 16 bits right, upper bits from the wide
+  operand) exactly as the Section 5.3 hardware would if the trap
+  logic failed → a **detected** replay/semantics violation.
+
+Site selection is a pure function of the injector's ``seed`` (a
+private ``random.Random(seed)`` stream) or an explicit ``site`` index
+over eligible occurrences, so every chaos run replays exactly.
+Injection is restricted to non-speculative instructions within an
+early-site horizon, so an armed fault always reaches retirement —
+otherwise "undetected" would be ambiguous with "never committed".
+
+Injectors arm only outside warmup (``feed.fast_mode``): warmup
+instructions never enter the pipeline, so perturbing them would test
+nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bitwidth.detect import is_narrow
+from repro.bitwidth.tags import UNKNOWN_TAG, WidthTag
+from repro.core.feed import DynInst
+from repro.core.machine import Machine
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.semantics import MASK64, compute
+
+#: Classes whose operands the tag injectors perturb.
+_TAGGED_CLASSES = frozenset({
+    OpClass.INT_ARITH, OpClass.INT_MULT, OpClass.INT_LOGIC,
+    OpClass.INT_SHIFT, OpClass.LOAD, OpClass.STORE,
+})
+
+#: Classes whose results the corruption injector perturbs (conditional
+#: moves excluded: the semantics guard cannot recompute them).
+_RESULT_CLASSES = frozenset({
+    OpClass.INT_ARITH, OpClass.INT_MULT, OpClass.INT_LOGIC,
+    OpClass.INT_SHIFT,
+})
+_OLD_DEST_OPS = frozenset({Opcode.CMOVEQ, Opcode.CMOVNE})
+
+_HIGH48_SHIFT = 16
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One applied fault (for the chaos report)."""
+
+    injector: str
+    seq: int
+    index: int
+    detail: str
+
+
+class BaseInjector:
+    """Common bookkeeping: deterministic site selection + audit trail."""
+
+    #: injector name (CLI catalog key).
+    name = "base"
+    #: what the guards owe this fault: "detected" or "masked".
+    expect = "detected"
+
+    def __init__(self, seed: int = 0, site: int | None = None,
+                 count: int = 1, horizon: int = 2000) -> None:
+        self.site = site
+        self.count = count
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._eligible_seen = 0
+        self.injections: list[Injection] = []
+
+    @property
+    def armed(self) -> bool:
+        """True once the fault actually perturbed live state."""
+        return bool(self.injections)
+
+    def _select(self) -> bool:
+        """Decide (deterministically) whether to arm at the current
+        eligible site; advances the site counter either way."""
+        here = self._eligible_seen
+        self._eligible_seen += 1
+        if len(self.injections) >= self.count:
+            return False
+        if self.site is not None:
+            return here == self.site
+        if here >= self.horizon:
+            return False
+        return self._rng.random() < 0.125
+
+    def _record(self, seq: int, index: int, detail: str) -> None:
+        self.injections.append(Injection(self.name, seq, index, detail))
+
+    def install(self, machine: Machine) -> "BaseInjector":
+        raise NotImplementedError
+
+
+class DynInjector(BaseInjector):
+    """Injectors that perturb one :class:`DynInst` as the feed produces
+    it (before the guards capture it — install the injector first)."""
+
+    def install(self, machine: Machine) -> "DynInjector":
+        feed = machine.feed
+        original_next = feed.next
+
+        def next_with_fault() -> DynInst | None:
+            dyn = original_next()
+            if (dyn is not None and not feed.fast_mode
+                    and not dyn.spec and self.eligible(dyn)
+                    and self._select()):
+                detail = self.apply(dyn, machine)
+                self._record(dyn.seq, dyn.index, detail)
+            return dyn
+
+        feed.next = next_with_fault  # type: ignore[method-assign]
+        return self
+
+    def eligible(self, dyn: DynInst) -> bool:
+        raise NotImplementedError
+
+    def apply(self, dyn: DynInst, machine: Machine) -> str:
+        raise NotImplementedError
+
+
+class TagFlipInjector(DynInjector):
+    """Unsound zero48: a wide operand value tagged ``narrow16``."""
+
+    name = "tag-flip"
+    expect = "detected"
+
+    def eligible(self, dyn: DynInst) -> bool:
+        return (dyn.op_class in _TAGGED_CLASSES
+                and not is_narrow(dyn.a_val, 16))
+
+    def apply(self, dyn: DynInst, machine: Machine) -> str:
+        dyn.tag_a = WidthTag(narrow16=True, narrow33=True)
+        return f"a={dyn.a_val:#x} falsely tagged narrow16"
+
+
+class TagConservativeInjector(DynInjector):
+    """Under-reporting detector: a narrow operand loses its claim.
+
+    Benign by the tag contract (tags may under-claim); only gating and
+    packing opportunity is lost, never correctness.
+    """
+
+    name = "tag-conservative"
+    expect = "masked"
+
+    def eligible(self, dyn: DynInst) -> bool:
+        return (dyn.op_class in _TAGGED_CLASSES
+                and dyn.tag_a.narrow16)
+
+    def apply(self, dyn: DynInst, machine: Machine) -> str:
+        dyn.tag_a = UNKNOWN_TAG
+        return f"a={dyn.a_val:#x} narrow claim dropped"
+
+
+class ResultCorruptInjector(DynInjector):
+    """Upper result bits flipped on the bus and in the register file."""
+
+    name = "result-corrupt"
+    expect = "detected"
+
+    def eligible(self, dyn: DynInst) -> bool:
+        return (dyn.op_class in _RESULT_CLASSES
+                and dyn.inst.opcode not in _OLD_DEST_OPS
+                and dyn.result is not None
+                and dyn.inst.dest_reg() is not None)
+
+    def apply(self, dyn: DynInst, machine: Machine) -> str:
+        clean = dyn.result
+        corrupted = (clean ^ (0xA5 << 48)) & MASK64
+        dyn.result = corrupted
+        # Propagate into architected state the way a corrupted result
+        # bus would: downstream consumers read the bad value, and the
+        # detector hardware re-tags what is actually on the bus.
+        machine.feed._write(dyn.inst.dest_reg(), corrupted)
+        return f"result {clean:#x} -> {corrupted:#x}"
+
+
+class ReplayDropInjector(BaseInjector):
+    """Suppress a due replay trap (Section 5.3 trap logic failure).
+
+    Rides the per-cycle probe: scans the machine's scheduled
+    writebacks for speculatively packed entries whose 16-bit lane is
+    about to carry into the wide operand's upper bits, clears the
+    speculation flag (so the trap never fires) and commits the
+    packed-lane value — low 16 bits correct, upper 48 muxed from the
+    wide operand — exactly the corruption the trap exists to prevent.
+
+    Requires a packing+replay configuration; on workloads that never
+    replay-pack in the window the injector stays unarmed (reported,
+    not counted as a silent corruption).
+    """
+
+    name = "replay-drop"
+    expect = "detected"
+
+    def install(self, machine: Machine) -> "ReplayDropInjector":
+        machine.add_probe(self)
+        return self
+
+    def on_cycle(self, machine: Machine) -> None:
+        for entries in machine.pending_completions().values():
+            for entry in entries:
+                if not entry.replay_packed or entry.squashed:
+                    continue
+                dyn = entry.dyn
+                reference = compute(dyn.inst.opcode, dyn.a_val, dyn.b_val)
+                wide = dyn.b_val if dyn.tag_a.narrow16 else dyn.a_val
+                if (reference >> _HIGH48_SHIFT) == (wide >> _HIGH48_SHIFT):
+                    continue    # no carry: dropping would be a no-op
+                if not self._select():
+                    continue
+                entry.replay_packed = False
+                packed = ((wide >> _HIGH48_SHIFT) << _HIGH48_SHIFT
+                          | (reference & 0xFFFF)) & MASK64
+                dyn.result = packed
+                self._record(dyn.seq, dyn.index,
+                             f"trap dropped, packed lane committed "
+                             f"{packed:#x} (true {reference:#x})")
+
+
+#: The injector catalog, in presentation order.
+INJECTOR_TYPES: dict[str, type[BaseInjector]] = {
+    cls.name: cls
+    for cls in (TagFlipInjector, TagConservativeInjector,
+                ResultCorruptInjector, ReplayDropInjector)
+}
+
+
+def make_injector(name: str, seed: int = 0, site: int | None = None,
+                  count: int = 1) -> BaseInjector:
+    """Instantiate a catalog injector by name."""
+    try:
+        cls = INJECTOR_TYPES[name]
+    except KeyError:
+        raise ValueError(f"unknown injector {name!r} "
+                         f"(known: {', '.join(INJECTOR_TYPES)})") from None
+    return cls(seed=seed, site=site, count=count)

@@ -1,0 +1,56 @@
+"""Deterministic retry policy: bounded attempts, exponential backoff.
+
+The run engine retries failed simulation jobs.  Backoff between
+attempts grows exponentially and carries *jitter* so that a batch of
+jobs that all failed together (a dead pool) does not retry in
+lockstep — but the jitter is **deterministic**, derived from a sha256
+of the job's stable fingerprint and the attempt number, never from a
+shared RNG or the wall clock.  The same suite replayed therefore
+sleeps the same intervals, and the nondeterminism lint
+(``tools/lint_invariants.py``) stays clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try one job before declaring it failed."""
+
+    #: re-attempts after the first try (0 = never retry).
+    retries: int = 2
+    #: base backoff before the first retry, in seconds.
+    backoff: float = 0.05
+    #: hard cap on any single backoff sleep, in seconds.
+    backoff_cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff values must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (1-based) of the job
+        identified by ``key``.
+
+        ``base * 2**(attempt-1)`` scaled by a jitter factor in
+        [0.5, 1.5) that is a pure function of ``(key, attempt)``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        exp = self.backoff * (2 ** (attempt - 1))
+        return min(self.backoff_cap, exp * (0.5 + jitter_fraction(key, attempt)))
+
+
+def jitter_fraction(key: str, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` for ``(key, attempt)``."""
+    digest = hashlib.sha256(f"{key}#{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64

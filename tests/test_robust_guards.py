@@ -1,0 +1,227 @@
+"""Tests for the machine invariant guards (:mod:`repro.robust.guards`).
+
+The two halves of the guard contract:
+
+* **no false positives** — on an unperturbed machine, across random
+  programs and every packing configuration, no guard ever fires;
+* **real detection** — a single injected width-tag flip on a live
+  value fires exactly one (tag) violation; the other injectors each
+  fire their owed guard on real workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm.assembler import Assembler, standard_prologue
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.memory.hierarchy import HierarchyConfig
+from repro.obs.events import EventRecorder, InvariantViolationEvent
+from repro.robust.guards import GuardSet, InvariantViolation
+from repro.robust.inject import (
+    ReplayDropInjector,
+    ResultCorruptInjector,
+    TagFlipInjector,
+)
+from repro.workloads.registry import get_workload, resolve_warmup
+
+FAST = replace(BASELINE, hierarchy=HierarchyConfig(perfect=True))
+
+_OPERATES = ("addq", "subq", "addl", "subl", "s4addq", "s8addq",
+             "cmpeq", "cmplt", "cmpult", "mulq", "mull",
+             "and", "bis", "xor", "bic", "ornot", "eqv", "zapnot",
+             "sll", "srl", "sra", "extbl", "extwl",
+             "cmoveq", "cmovne")
+_WORK_REGS = ("t0", "t1", "t2", "t3", "t4", "t5", "s1", "s2", "s3", "v0")
+
+op_strategy = st.one_of(
+    st.tuples(st.sampled_from(_OPERATES),
+              st.sampled_from(_WORK_REGS),
+              st.sampled_from(_WORK_REGS),
+              st.one_of(st.sampled_from(_WORK_REGS),
+                        st.integers(min_value=0, max_value=255))),
+    st.tuples(st.just("load"),
+              st.sampled_from(("ldq", "ldl", "ldwu", "ldbu")),
+              st.sampled_from(_WORK_REGS),
+              st.integers(min_value=0, max_value=24)),
+    st.tuples(st.just("store"),
+              st.sampled_from(("stq", "stl", "stw", "stb")),
+              st.sampled_from(_WORK_REGS),
+              st.integers(min_value=0, max_value=24)),
+)
+
+
+def build_program(ops, seeds):
+    asm = Assembler("random")
+    standard_prologue(asm)
+    buf = asm.alloc("buf", 64)
+    asm.data_words(buf, seeds[:8])
+    asm.li("s0", buf)
+    for reg, seed in zip(_WORK_REGS, seeds):
+        asm.li(reg, seed)
+    for op in ops:
+        if op[0] == "load":
+            _, mnemonic, rd, disp = op
+            asm.load(mnemonic, rd, "s0", disp)
+        elif op[0] == "store":
+            _, mnemonic, rs, disp = op
+            asm.store(mnemonic, rs, "s0", disp)
+        else:
+            mnemonic, rd, ra, rb = op
+            asm.op(mnemonic, rd, ra, rb)
+    asm.halt()
+    return asm.assemble()
+
+
+# ------------------------------------------------------- property: clean
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40),
+       seeds=st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                      min_size=10, max_size=10))
+def test_unperturbed_machine_never_fires_a_guard(ops, seeds):
+    program = build_program(ops, seeds)
+    for config in (FAST, FAST.with_packing(), FAST.with_packing(replay=True)):
+        machine = Machine(program, config)
+        guards = GuardSet(machine)   # raise mode: a firing fails loudly
+        machine.run()
+        assert guards.clean
+        # the guards genuinely evaluated something
+        assert guards.checks_run["tag"] > 0
+        assert guards.checks_run["ruu"] > 0
+
+
+# ------------------------------------------- property: one flip, one fire
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40),
+       seeds=st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                      min_size=10, max_size=10),
+       site=st.integers(min_value=0, max_value=30))
+def test_single_tag_flip_fires_exactly_one_violation(ops, seeds, site):
+    program = build_program(ops, seeds)
+    # Packing disabled: the flipped tag influences nothing downstream,
+    # so the blast radius is exactly the one lying claim.
+    machine = Machine(program, FAST)
+    injector = TagFlipInjector(site=site, count=1)
+    injector.install(machine)
+    guards = GuardSet(machine, collect=True)
+    machine.run()
+    if injector.armed:
+        assert len(guards.violations) == 1
+        violation = guards.violations[0]
+        assert violation.check == "tag"
+        assert violation.seq == injector.injections[0].seq
+    else:
+        # no eligible site at that index: nothing may fire either
+        assert guards.clean
+
+
+# --------------------------------------------------- violation anatomy
+
+
+def _flip_one(workload_name="g721-encode", collect=False):
+    workload = get_workload(workload_name)
+    machine = Machine(workload.build(1), BASELINE)
+    injector = TagFlipInjector(site=0, count=1)
+    injector.install(machine)
+    guards = GuardSet(machine, collect=collect)
+    recorder = EventRecorder()
+    machine.subscribe(recorder)
+    machine.fast_forward(resolve_warmup(workload, 1))
+    return machine, injector, guards, recorder
+
+
+class TestViolationAnatomy:
+    def test_raise_mode_raises_typed_violation_with_location(self):
+        machine, injector, guards, _ = _flip_one()
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.run(max_insts=5000)
+        violation = excinfo.value
+        assert violation.check == "tag"
+        assert violation.cycle == machine.cycle
+        assert violation.seq == injector.injections[0].seq
+        assert violation.index >= 0
+        # srcmap location, when present, lands in the message
+        if violation.source is not None:
+            file, line = violation.source
+            assert f"{file}:{line}" in str(violation)
+        assert "narrow16" in str(violation)
+
+    def test_collect_mode_emits_bus_event_and_continues(self):
+        machine, injector, guards, recorder = _flip_one(collect=True)
+        machine.run(max_insts=5000)
+        assert injector.armed and not guards.clean
+        fired = [e for e in recorder.events
+                 if isinstance(e, InvariantViolationEvent)]
+        assert len(fired) == len(guards.violations) == 1
+        assert fired[0].check == "tag"
+        assert fired[0].seq == guards.violations[0].seq
+        with pytest.raises(AssertionError):
+            guards.assert_clean()
+
+    def test_warmup_instructions_are_not_eligible(self):
+        machine, injector, guards, _ = _flip_one(collect=True)
+        # nothing armed during fast_forward itself
+        assert not injector.armed
+
+
+class TestOtherInjectors:
+    def test_result_corruption_fires_semantics_guard(self):
+        workload = get_workload("g721-encode")
+        machine = Machine(workload.build(1), BASELINE)
+        injector = ResultCorruptInjector(site=0, count=1)
+        injector.install(machine)
+        guards = GuardSet(machine, collect=True)
+        machine.fast_forward(resolve_warmup(workload, 1))
+        machine.run(max_insts=5000)
+        assert injector.armed
+        assert any(v.check == "semantics" for v in guards.violations)
+
+    def test_replay_drop_fires_replay_guard(self):
+        # perl replay-traps within this window under replay packing
+        workload = get_workload("perl")
+        machine = Machine(workload.build(1),
+                          BASELINE.with_packing(replay=True))
+        injector = ReplayDropInjector(site=0, count=1)
+        injector.install(machine)
+        guards = GuardSet(machine, collect=True)
+        machine.fast_forward(resolve_warmup(workload, 1))
+        machine.run(max_insts=10_000)
+        assert injector.armed
+        assert any(v.check == "replay" and "dropped" in v.detail
+                   for v in guards.violations)
+
+
+class TestRUUAudit:
+    def test_audit_clean_on_live_machine(self):
+        workload = get_workload("g721-encode")
+        machine = Machine(workload.build(1), BASELINE)
+        machine.run(max_insts=2000)
+        assert machine.ruu.audit() == []
+
+    def test_audit_flags_counter_imbalance(self):
+        workload = get_workload("g721-encode")
+        machine = Machine(workload.build(1), BASELINE)
+        machine.run(max_insts=2000)
+        machine.ruu._lsq_count += 1
+        problems = machine.ruu.audit()
+        assert any("LSQ counter" in p for p in problems)
+
+    def test_guard_raises_on_ruu_corruption(self):
+        workload = get_workload("g721-encode")
+        machine = Machine(workload.build(1), BASELINE)
+        GuardSet(machine)
+        machine.ruu._lsq_count += 1   # simulate an accounting bug
+        with pytest.raises(InvariantViolation) as excinfo:
+            machine.run(max_insts=2000)
+        assert excinfo.value.check == "ruu"
