@@ -159,6 +159,21 @@ class Machine:
                 issue_width=self.config.issue_width)
         return self.attribution
 
+    def enable_profiling(self, profiler=None):
+        """Attach a wall-clock phase profiler
+        (:class:`~repro.perf.profiler.PhaseProfiler`) to this machine's
+        hot loop; returns it (detach with ``profiler.detach()``).
+
+        Opt-in and attach-time only: a machine that never calls this
+        runs the exact unwrapped code path (the perf package is not
+        even imported), mirroring the event bus's
+        zero-cost-when-unused contract.
+        """
+        if profiler is None:
+            from repro.perf.profiler import PhaseProfiler
+            profiler = PhaseProfiler()
+        return profiler.attach(self)
+
     def _emit(self, event: Event) -> None:
         for handler in self._subscribers:
             handler(event)

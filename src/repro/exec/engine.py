@@ -39,6 +39,22 @@ process (like the memo, cleared by :func:`clear_memo` or bypassed by
 immediate failed outcome instead of re-simulating — or worse,
 crashing — during the render phase.
 
+Observability (the performance layer, :mod:`repro.perf`): pass a
+:class:`~repro.perf.trace.SpanTracer` and the engine records one span
+tree per batch — schedule, per-job queue-wait, worker execute (with
+warmup / run / serialize child phases), cache store / hit /
+quarantine, and retry / backoff / requeue rounds — exportable as
+Chrome trace JSON and cross-linked (by span id) into the obs run
+manifests.  Span accounting is exact by construction: every charged
+attempt and every success records exactly one ``execute`` span, every
+cache-tier outcome exactly one ``cache.hit`` span.  Independently of
+tracing, every worker returns a wall-clock phase breakdown and a
+metrics snapshot (:mod:`repro.perf.metrics`) that merge into the
+parent's process-wide registry, and :class:`EngineStats` deltas mirror
+into ``engine.*`` counters there.  Timing metadata never enters the
+result payloads or the disk cache: cached bytes stay a pure function
+of (workload, config, scale).
+
 :data:`GLOBAL_STATS` accumulates over every engine in the process; the
 CLI's end-of-suite summary and the CI warm-cache check ("zero fresh
 simulations") read it.
@@ -46,6 +62,7 @@ simulations") read it.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -55,6 +72,7 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.machine import Machine, RunResult
 from repro.exec.cache import ResultCache
@@ -63,6 +81,8 @@ from repro.exec.jobs import Job, dedupe
 from repro.exec.serialize import result_from_dict, result_to_dict
 from repro.obs.export import build_manifest, write_manifest
 from repro.obs.sampler import IntervalSampler
+from repro.perf.clock import epoch_now, perf_now
+from repro.perf.metrics import MetricsRegistry, get_registry
 from repro.robust.faults import apply_fault
 from repro.robust.report import (
     FAILED,
@@ -74,6 +94,9 @@ from repro.robust.report import (
 )
 from repro.robust.retry import RetryPolicy
 from repro.workloads.registry import get_workload, resolve_warmup
+
+if TYPE_CHECKING:   # engine never imports the tracer at runtime
+    from repro.perf.trace import SpanTracer
 
 #: Process-wide result memo, shared by all engines (the figure modules'
 #: ``run()`` functions hit it after the engine pre-ran their jobs).
@@ -94,7 +117,13 @@ def clear_memo() -> None:
 
 @dataclass
 class EngineStats:
-    """Where results came from, for one engine or process-wide."""
+    """Where results came from, for one engine or process-wide.
+
+    Every delta recorded here also increments the matching
+    ``engine.<field>`` counter in the process-wide metrics registry
+    (:func:`repro.perf.metrics.get_registry`), so the exported metrics
+    snapshot and this summary can never drift apart.
+    """
 
     jobs_requested: int = 0    # jobs passed to run_jobs (pre-dedup)
     jobs_unique: int = 0       # after dedup
@@ -143,12 +172,17 @@ GLOBAL_STATS = EngineStats()
 def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
     """Execute one job (worker-side): warmup, detailed run, serialize.
 
-    Returns ``{"result": <dict>, "manifest": <dict | None>}`` — plain
-    JSON-safe data, equally happy to cross a process boundary or land
-    in the cache.  ``fault`` is a chaos-harness token
-    (:func:`repro.robust.faults.apply_fault`) interpreted before the
-    simulation starts.
+    Returns ``{"result": <dict>, "manifest": <dict | None>, "timing":
+    <dict>, "metrics": <dict>}`` — plain JSON-safe data, equally happy
+    to cross a process boundary or land in the cache.  Only ``result``
+    and ``manifest`` are ever cached; ``timing`` (epoch stamps of the
+    warmup / run / serialize phases) and ``metrics`` (this worker's
+    registry snapshot) describe *this* execution and are consumed by
+    the parent's tracer and metrics registry, then dropped.  ``fault``
+    is a chaos-harness token (:func:`repro.robust.faults.apply_fault`)
+    interpreted before the simulation starts.
     """
+    t_start = epoch_now()
     apply_fault(fault)
     workload = get_workload(job.workload)
     machine = Machine(workload.build(job.scale), job.config)
@@ -158,14 +192,32 @@ def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
         machine.add_probe(sampler)
         machine.enable_stall_attribution()
     machine.fast_forward(resolve_warmup(workload, job.scale))
+    t_run = epoch_now()
     result = machine.run(max_insts=workload.window)
+    t_serialize = epoch_now()
     manifest = None
     if sampler is not None:
         sampler.finish(machine)
         manifest = build_manifest(
             result, attribution=machine.attribution, sampler=sampler,
             workload=job.workload, scale=job.scale)
-    return {"result": result_to_dict(result), "manifest": manifest}
+    payload_result = result_to_dict(result)
+    t_end = epoch_now()
+
+    registry = MetricsRegistry()
+    registry.counter("sim.runs").inc()
+    registry.counter("sim.cycles").inc(result.stats.cycles)
+    registry.counter("sim.committed").inc(result.stats.committed)
+    registry.histogram("sim.warmup_seconds").observe(t_run - t_start)
+    registry.histogram("sim.run_seconds").observe(t_serialize - t_run)
+    registry.histogram("sim.serialize_seconds").observe(t_end - t_serialize)
+    return {
+        "result": payload_result,
+        "manifest": manifest,
+        "timing": {"pid": os.getpid(), "start": t_start, "run": t_run,
+                   "serialize": t_serialize, "end": t_end},
+        "metrics": registry.snapshot(),
+    }
 
 
 class _Attempts:
@@ -174,13 +226,19 @@ class _Attempts:
     def __init__(self, jobs: list[Job], policy: RetryPolicy) -> None:
         self.policy = policy
         self.count: dict[tuple, int] = {job.key: 0 for job in jobs}
+        self.wall: dict[tuple, float] = {job.key: 0.0 for job in jobs}
         self.last_error: dict[tuple, str] = {}
         self.last_status: dict[tuple, str] = {}
 
-    def charge(self, job: Job, status: str, error: str) -> None:
+    def charge(self, job: Job, status: str, error: str,
+               wall: float = 0.0) -> None:
         self.count[job.key] += 1
+        self.wall[job.key] += wall
         self.last_status[job.key] = status
         self.last_error[job.key] = error
+
+    def add_wall(self, job: Job, wall: float) -> None:
+        self.wall[job.key] += wall
 
     def exhausted(self, job: Job) -> bool:
         return self.count[job.key] >= self.policy.max_attempts
@@ -189,25 +247,40 @@ class _Attempts:
         """Terminal outcome for a job (success if ``status`` is OK)."""
         if status == OK:
             return JobOutcome(job, status=OK,
-                              attempts=self.count[job.key] + 1)
+                              attempts=self.count[job.key] + 1,
+                              wall_seconds=self.wall[job.key])
         return JobOutcome(job,
                           status=self.last_status.get(job.key, FAILED),
                           attempts=self.count[job.key],
-                          error=self.last_error.get(job.key))
+                          error=self.last_error.get(job.key),
+                          wall_seconds=self.wall[job.key])
 
 
 class RunEngine:
-    """Runs batches of jobs under one :class:`RunContext`."""
+    """Runs batches of jobs under one :class:`RunContext`.
 
-    def __init__(self, ctx: RunContext | None = None) -> None:
+    ``tracer`` (optional, a :class:`~repro.perf.trace.SpanTracer`)
+    turns on span recording for every batch this engine runs; with
+    ``None`` (the default) no recording site allocates anything.
+    """
+
+    def __init__(self, ctx: RunContext | None = None,
+                 tracer: "SpanTracer | None" = None) -> None:
         self.ctx = ctx or RunContext()
         self.stats = EngineStats()
+        self.tracer = tracer
+        #: job key -> span id of the span that produced its result
+        #: (execute or cache.hit), for manifest cross-linking.
+        self._span_of: dict[tuple, int] = {}
         self._cache = (ResultCache(self.ctx.cache_dir,
                                    on_quarantine=self._on_quarantine)
                        if self.ctx.cache_dir is not None else None)
 
     def _on_quarantine(self, path, reason: str) -> None:
         self._bump(cache_quarantined=1)
+        if self.tracer is not None:
+            self.tracer.instant("cache.quarantine", "cache",
+                                entry=path.name, reason=reason)
 
     # ------------------------------------------------------------------ API
 
@@ -232,10 +305,17 @@ class RunEngine:
         returns the surviving results plus the per-job report."""
         unique = dedupe(jobs)
         self._bump(jobs_requested=len(jobs), jobs_unique=len(unique))
+        tracer = self.tracer
+        batch = (tracer.begin("suite.batch", "engine",
+                              jobs_requested=len(jobs),
+                              jobs_unique=len(unique))
+                 if tracer is not None else None)
 
         report = RunReport()
         results: dict[tuple, RunResult] = {}
         fresh: list[Job] = []
+        schedule = (tracer.begin("schedule", "engine")
+                    if tracer is not None else None)
         for job in unique:
             if job.key in _FAILED and not self.ctx.refresh:
                 status, error = _FAILED[job.key]
@@ -243,19 +323,25 @@ class RunEngine:
                                       error=f"(failed earlier this "
                                             f"process) {error}"))
                 continue
+            t0 = perf_now()
             result, source = self._recall(job)
             if result is not None:
                 results[job.key] = result
                 report.add(JobOutcome(job, status=OK, attempts=0,
-                                      source=source))
+                                      source=source,
+                                      wall_seconds=perf_now() - t0))
             else:
                 fresh.append(job)
+        if schedule is not None:
+            tracer.end(schedule, fresh=len(fresh))
 
         payloads = self._execute(fresh, report)
         for job in fresh:
             payload = payloads.get(job.key)
             if payload is not None:
                 results[job.key] = self._absorb(job, payload)
+        if batch is not None:
+            tracer.end(batch)
         return results, report
 
     def run(self, job: Job) -> RunResult:
@@ -268,14 +354,19 @@ class RunEngine:
         """Serve a job from the memo or the disk cache, if allowed;
         returns ``(result, tier)``."""
         ctx = self.ctx
+        tracer = self.tracer
         if not ctx.use_cache or ctx.refresh:
             return None, "fresh"
         result = _MEMO.get(job.key)
         if result is not None:
             self._bump(memo_hits=1)
+            if tracer is not None:
+                self._span_of[job.key] = tracer.instant(
+                    "cache.hit", "cache", job=job.stem(), tier="memo")
             return result, "memo"
         if self._cache is None:
             return None, "fresh"
+        t0 = tracer.now() if tracer is not None else 0.0
         entry = self._cache.load(job)
         if entry is None:
             return None, "fresh"
@@ -286,8 +377,16 @@ class RunEngine:
         result = result_from_dict(entry["result"], config=job.config)
         self._bump(cache_hits=1)
         _MEMO[job.key] = result
+        span = None
+        if tracer is not None:
+            span = tracer.add_rel("cache.hit", "cache", t0, tracer.now(),
+                                  job=job.stem(), tier="disk")
+            self._span_of[job.key] = span
         if ctx.wants_obs:
-            write_manifest(ctx.obs_dir, entry["manifest"], stem=job.stem())
+            manifest = entry["manifest"]
+            if span is not None:
+                manifest = {**manifest, "trace": {"span_id": span}}
+            write_manifest(ctx.obs_dir, manifest, stem=job.stem())
         return result, "cache"
 
     # ------------------------------------------------------------ execute
@@ -323,20 +422,25 @@ class RunEngine:
         payloads: dict[tuple, dict] = {}
         for job in fresh:
             while True:
+                t0 = epoch_now()
                 try:
                     payload = _simulate(job, self.ctx.wants_obs,
                                         self.ctx.fault_for(job.workload))
                 except Exception as err:  # noqa: BLE001 — worker boundary
                     attempts.charge(job, FAILED, f"{type(err).__name__}: "
-                                                 f"{err}")
+                                                 f"{err}",
+                                    wall=epoch_now() - t0)
+                    self._trace_attempt(job, attempts.count[job.key],
+                                        "error", submit_epoch=t0)
                     if attempts.exhausted(job):
                         report.add(attempts.outcome(job))
                         break
-                    self._backoff(policy_delay=attempts.policy.delay(
+                    self._backoff(attempts.policy.delay(
                         job.stem(), attempts.count[job.key]))
                     continue
                 payloads[job.key] = payload
-                self._charge_success(job, attempts, report)
+                self._finish_success(job, payload, attempts, report,
+                                     submit_epoch=t0)
                 break
         return payloads
 
@@ -354,11 +458,18 @@ class RunEngine:
         mode unambiguously belongs to it.  After an isolation round
         the engine returns to fan-out.
         """
+        tracer = self.tracer
         payloads: dict[tuple, dict] = {}
         pending = list(fresh)
         isolate_next = False
+        round_no = 0
         while pending:
             self._sleep_backoff(pending, attempts)
+            round_no += 1
+            kind = "round.isolation" if isolate_next else "round.fanout"
+            span = (tracer.begin(kind, "engine", round=round_no,
+                                 pending=len(pending))
+                    if tracer is not None else None)
             if isolate_next:
                 pending = self._isolation_round(pending, attempts,
                                                 report, payloads)
@@ -367,6 +478,8 @@ class RunEngine:
                 pending, broke = self._fanout_round(pending, attempts,
                                                     report, payloads)
                 isolate_next = broke
+            if span is not None:
+                tracer.end(span, requeued=len(pending))
         return payloads
 
     def _fanout_round(self, pending: list[Job], attempts: _Attempts,
@@ -376,10 +489,13 @@ class RunEngine:
         ctx = self.ctx
         workers = min(ctx.jobs, len(pending))
         pool = ProcessPoolExecutor(max_workers=workers)
-        futures: list[tuple[Job, Future]] = [
-            (job, pool.submit(_simulate, job, ctx.wants_obs,
-                              ctx.fault_for(job.workload)))
-            for job in pending]
+        submits: dict[tuple, float] = {}
+        futures: list[tuple[Job, Future]] = []
+        for job in pending:
+            submits[job.key] = epoch_now()
+            futures.append(
+                (job, pool.submit(_simulate, job, ctx.wants_obs,
+                                  ctx.fault_for(job.workload))))
         requeue: list[Job] = []
         broke = False
         for job, future in futures:
@@ -388,7 +504,8 @@ class RunEngine:
                 # requeue the rest without charging anyone.
                 if future.done() and not future.cancelled():
                     self._harvest_done(job, future, attempts, report,
-                                       payloads, requeue)
+                                       payloads, requeue,
+                                       submits[job.key])
                 else:
                     requeue.append(job)
                 continue
@@ -399,7 +516,11 @@ class RunEngine:
                 # way to reclaim the wedged worker is to put the whole
                 # pool down; the collateral jobs requeue uncharged.
                 attempts.charge(job, TIMED_OUT,
-                                f"no result within {ctx.timeout}s")
+                                f"no result within {ctx.timeout}s",
+                                wall=ctx.timeout or 0.0)
+                self._trace_attempt(job, attempts.count[job.key],
+                                    "timeout",
+                                    submit_epoch=submits[job.key])
                 self._finish_or_requeue(job, attempts, report, requeue)
                 self._kill_pool(pool)
                 broke = True
@@ -413,11 +534,16 @@ class RunEngine:
                 broke = True
             except Exception as err:  # noqa: BLE001 — worker boundary
                 attempts.charge(job, FAILED,
-                                f"{type(err).__name__}: {err}")
+                                f"{type(err).__name__}: {err}",
+                                wall=epoch_now() - submits[job.key])
+                self._trace_attempt(job, attempts.count[job.key],
+                                    "error",
+                                    submit_epoch=submits[job.key])
                 self._finish_or_requeue(job, attempts, report, requeue)
             else:
                 payloads[job.key] = payload
-                self._charge_success(job, attempts, report)
+                self._finish_success(job, payload, attempts, report,
+                                     submit_epoch=submits[job.key])
         if broke:
             self._kill_pool(pool)
         else:
@@ -437,6 +563,7 @@ class RunEngine:
         requeue: list[Job] = []
         for job in pending:
             pool = ProcessPoolExecutor(max_workers=1)
+            submit_epoch = epoch_now()
             future = pool.submit(_simulate, job, ctx.wants_obs,
                                  ctx.fault_for(job.workload))
             try:
@@ -444,18 +571,25 @@ class RunEngine:
             except FutureTimeout:
                 attempts.charge(job, TIMED_OUT,
                                 f"no result within {ctx.timeout}s "
-                                f"(isolated)")
+                                f"(isolated)",
+                                wall=ctx.timeout or 0.0)
+                self._trace_attempt(job, attempts.count[job.key],
+                                    "timeout", submit_epoch=submit_epoch)
                 self._finish_or_requeue(job, attempts, report, requeue)
                 self._kill_pool(pool)
                 continue
             except Exception as err:  # noqa: BLE001 — worker boundary
                 attempts.charge(job, FAILED,
-                                f"{type(err).__name__}: {err}")
+                                f"{type(err).__name__}: {err}",
+                                wall=epoch_now() - submit_epoch)
+                self._trace_attempt(job, attempts.count[job.key],
+                                    "error", submit_epoch=submit_epoch)
                 self._finish_or_requeue(job, attempts, report, requeue)
                 self._kill_pool(pool)
                 continue
             payloads[job.key] = payload
-            self._charge_success(job, attempts, report)
+            self._finish_success(job, payload, attempts, report,
+                                 submit_epoch=submit_epoch)
             pool.shutdown(wait=True)
         return requeue
 
@@ -463,25 +597,75 @@ class RunEngine:
 
     def _harvest_done(self, job: Job, future: Future, attempts: _Attempts,
                       report: RunReport, payloads: dict[tuple, dict],
-                      requeue: list[Job]) -> None:
+                      requeue: list[Job], submit_epoch: float) -> None:
         """Collect a future that finished before the pool went down."""
         try:
             payload = future.result(timeout=0)
         except (BrokenExecutor, CancelledError):
             requeue.append(job)
         except Exception as err:  # noqa: BLE001 — worker boundary
-            attempts.charge(job, FAILED, f"{type(err).__name__}: {err}")
+            attempts.charge(job, FAILED, f"{type(err).__name__}: {err}",
+                            wall=epoch_now() - submit_epoch)
+            self._trace_attempt(job, attempts.count[job.key], "error",
+                                submit_epoch=submit_epoch)
             self._finish_or_requeue(job, attempts, report, requeue)
         else:
             payloads[job.key] = payload
-            self._charge_success(job, attempts, report)
+            self._finish_success(job, payload, attempts, report,
+                                 submit_epoch=submit_epoch)
 
-    def _charge_success(self, job: Job, attempts: _Attempts,
-                        report: RunReport) -> None:
+    def _finish_success(self, job: Job, payload: dict,
+                        attempts: _Attempts, report: RunReport,
+                        submit_epoch: float | None = None) -> None:
+        """Book a successful attempt: wall-clock, retries, span, outcome."""
+        timing = payload.get("timing")
+        if timing is not None:
+            attempts.add_wall(job, timing["end"] - timing["start"])
         retries = attempts.count[job.key]
         if retries:
             self._bump(job_retries=retries)
+        self._trace_attempt(job, attempts.count[job.key] + 1, "ok",
+                            timing=timing, submit_epoch=submit_epoch)
         report.add(attempts.outcome(job, status=OK))
+
+    def _trace_attempt(self, job: Job, attempt: int, outcome: str,
+                       timing: dict | None = None,
+                       submit_epoch: float | None = None) -> None:
+        """Record exactly one ``execute`` span per charged attempt or
+        success — the invariant behind
+        :meth:`~repro.perf.trace.SpanTracer.accounting` matching the
+        :class:`~repro.robust.report.RunReport` exactly.  Successful
+        attempts use the worker's own phase stamps (plus a
+        ``queue.wait`` span from submission to worker start); failures
+        span from submission to the engine noticing."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        stem = job.stem()
+        if timing is not None:
+            if (submit_epoch is not None
+                    and timing["start"] >= submit_epoch):
+                tracer.add_epoch("queue.wait", "engine", submit_epoch,
+                                 timing["start"], job=stem)
+            span = tracer.add_epoch(
+                "execute", "attempt", timing["start"], timing["end"],
+                pid=timing["pid"], job=stem, workload=job.workload,
+                attempt=attempt, outcome=outcome)
+            tracer.add_epoch("sim.warmup", "sim", timing["start"],
+                             timing["run"], parent=span,
+                             pid=timing["pid"], job=stem)
+            tracer.add_epoch("sim.run", "sim", timing["run"],
+                             timing["serialize"], parent=span,
+                             pid=timing["pid"], job=stem)
+            tracer.add_epoch("serialize", "sim", timing["serialize"],
+                             timing["end"], parent=span,
+                             pid=timing["pid"], job=stem)
+        else:
+            start = submit_epoch if submit_epoch is not None else epoch_now()
+            span = tracer.add_epoch(
+                "execute", "attempt", start, epoch_now(), job=stem,
+                workload=job.workload, attempt=attempt, outcome=outcome)
+        self._span_of[job.key] = span
 
     def _finish_or_requeue(self, job: Job, attempts: _Attempts,
                            report: RunReport, requeue: list[Job]) -> None:
@@ -503,10 +687,14 @@ class RunEngine:
                                                          charged))
         self._backoff(delay)
 
-    @staticmethod
-    def _backoff(policy_delay: float) -> None:
+    def _backoff(self, policy_delay: float) -> None:
         if policy_delay > 0:
-            time.sleep(policy_delay)
+            if self.tracer is not None:
+                with self.tracer.span("retry.backoff", "engine",
+                                      delay=policy_delay):
+                    time.sleep(policy_delay)
+            else:
+                time.sleep(policy_delay)
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -519,26 +707,43 @@ class RunEngine:
         pool.shutdown(wait=False, cancel_futures=True)
 
     def _absorb(self, job: Job, payload: dict) -> RunResult:
-        """Rehydrate one fresh payload and feed every result tier."""
+        """Rehydrate one fresh payload and feed every result tier.
+
+        The worker's metrics snapshot merges into the process-wide
+        registry here; its timing stamps were consumed by the tracer
+        at harvest.  Neither ever reaches the disk cache.
+        """
         ctx = self.ctx
+        tracer = self.tracer
+        get_registry().merge(payload.get("metrics"))
         result = result_from_dict(payload["result"], config=job.config)
         self._bump(fresh_runs=1)
         _FAILED.pop(job.key, None)
         if ctx.use_cache:
             _MEMO[job.key] = result
             if self._cache is not None:
+                t0 = tracer.now() if tracer is not None else 0.0
                 self._cache.store(job, payload["result"],
                                   manifest=payload["manifest"])
                 self._bump(cache_stores=1)
+                if tracer is not None:
+                    tracer.add_rel("cache.store", "cache", t0,
+                                   tracer.now(), job=job.stem())
         if ctx.wants_obs and payload["manifest"] is not None:
-            write_manifest(ctx.obs_dir, payload["manifest"],
-                           stem=job.stem())
+            manifest = payload["manifest"]
+            span = self._span_of.get(job.key)
+            if tracer is not None and span is not None:
+                manifest = {**manifest, "trace": {"span_id": span}}
+            write_manifest(ctx.obs_dir, manifest, stem=job.stem())
         return result
 
     # -------------------------------------------------------------- stats
 
     def _bump(self, **deltas: int) -> None:
+        registry = get_registry()
         for name, delta in deltas.items():
             setattr(self.stats, name, getattr(self.stats, name) + delta)
             setattr(GLOBAL_STATS, name,
                     getattr(GLOBAL_STATS, name) + delta)
+            if delta:
+                registry.counter(f"engine.{name}").inc(delta)

@@ -8,8 +8,12 @@ the machine-readable artifacts to an output directory::
     repro-obs go --packing --out obs/go-packed
     repro-obs gsm-encode --window 500 --events --out obs/gsm
 
-The console summary prints the headline counters, the top-down CPI
-breakdown (with its slot-conservation proof), and the artifact paths.
+The console summary — headline counters, the top-down CPI breakdown
+(with its slot-conservation proof), wall-clock — prints to **stderr**;
+stdout carries only the machine-parseable artifact paths (and the
+``--list`` / ``--list-experiments`` listings).  ``--profile`` attaches
+the hot-loop phase profiler (:mod:`repro.perf.profiler`) and prints
+the wall-clock-per-phase ranking after the run.
 """
 
 from __future__ import annotations
@@ -67,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="output directory (default: "
                              "obs-out/<workload>)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the hot-loop phase profiler and "
+                             "print the per-phase wall-clock ranking "
+                             "(stderr) after the run")
     return parser
 
 
@@ -117,17 +125,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.events:
         recorder = EventRecorder(limit=max_events)
         machine.subscribe(recorder)
+    profiler = machine.enable_profiling() if args.profile else None
 
     start = time.time()
     machine.fast_forward(resolve_warmup(workload, args.scale))
     result = machine.run(max_insts=args.max_insts or workload.window)
     elapsed = time.time() - start
+    if profiler is not None:
+        profiler.detach()
     sampler.finish(machine)
 
+    extra: dict = {"wall_seconds": elapsed, "sampler_window": window}
+    if profiler is not None:
+        extra["profile"] = profiler.as_dict()
     manifest = build_manifest(
         result, attribution=attribution, sampler=sampler,
-        workload=workload.name, scale=args.scale,
-        extra={"wall_seconds": elapsed, "sampler_window": window})
+        workload=workload.name, scale=args.scale, extra=extra)
     paths = write_manifest(out_dir, manifest)
     written = [paths["json"], paths["jsonl"]]
     windows_path = paths["json"].parent / "windows.jsonl"
@@ -139,19 +152,24 @@ def main(argv: list[str] | None = None) -> int:
         written.append(events_path)
 
     stats = result.stats
+    err = sys.stderr
     print(f"{workload.name}: {stats.committed} committed / "
           f"{stats.cycles} cycles = {stats.ipc:.3f} IPC "
-          f"({elapsed:.1f}s wall)")
+          f"({elapsed:.1f}s wall)", file=err)
     attribution.check()
     slots = attribution.as_dict()
     print(f"slot conservation: {slots['slots_total']} slots "
-          f"== {slots['issue_width']} wide x {slots['cycles']} cycles")
+          f"== {slots['issue_width']} wide x {slots['cycles']} cycles",
+          file=err)
     for kind, cpi in attribution.cpi_breakdown(stats.committed).items():
-        print(f"  cpi[{kind:>15s}] = {cpi:.4f}")
-    print(f"windows: {len(sampler.windows)} x {window} cycles")
+        print(f"  cpi[{kind:>15s}] = {cpi:.4f}", file=err)
+    print(f"windows: {len(sampler.windows)} x {window} cycles", file=err)
     if recorder is not None:
         note = f" (+{recorder.dropped} dropped)" if recorder.dropped else ""
-        print(f"events: {len(recorder.events)} recorded{note}")
+        print(f"events: {len(recorder.events)} recorded{note}", file=err)
+    if profiler is not None:
+        print(f"\nhot-loop profile ({workload.name}):", file=err)
+        print(profiler.table(), file=err)
     for path in written:
         print(f"wrote {path}")
     return 0

@@ -107,6 +107,10 @@ def manifest_records(manifest: dict) -> Iterable[dict]:
     if manifest.get("attribution") is not None:
         yield {"record": "attribution",
                "attribution": manifest["attribution"]}
+    if manifest.get("trace") is not None:
+        # Cross-link into the engine trace (--trace-out): names the
+        # span that produced this run (execute or cache.hit).
+        yield {"record": "trace", **manifest["trace"]}
     for window in manifest.get("windows") or ():
         yield {"record": "window", **window}
 

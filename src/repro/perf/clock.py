@@ -1,0 +1,39 @@
+"""Wall-clock shims: the harness's only clock readers.
+
+The nondeterminism lint (``tools/lint_invariants.py``, ND002) bans
+``time.*()`` calls from the simulator core and the run engine because
+simulation *results* must be a pure function of (program, config,
+seed).  Measurement *metadata* — span timings, per-job wall-clock,
+benchmark numbers — legitimately needs the clock, so those packages
+call these named shims instead: the intent is explicit at every call
+site, the lint stays clean without suppression comments, and grepping
+for ``perf_now``/``epoch_now`` enumerates every timing touchpoint.
+
+Nothing timed through this module may flow into a cached result, a
+figure, or any other replay-compared artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["epoch_now", "perf_now"]
+
+
+def perf_now() -> float:
+    """High-resolution monotonic seconds (``time.perf_counter``).
+
+    Comparable only within one process — use for durations and for
+    span start/end pairs recorded by the same tracer.
+    """
+    return time.perf_counter()
+
+
+def epoch_now() -> float:
+    """Unix-epoch seconds (``time.time``).
+
+    Coarser than :func:`perf_now` but roughly comparable *across*
+    processes — pool workers stamp their execution phases with it so
+    the parent's tracer can place worker spans on its own timeline.
+    """
+    return time.time()

@@ -1,0 +1,189 @@
+"""Hot-loop phase profiler for the simulated machine.
+
+Where do the wall-clock seconds of a simulation go?  The ROADMAP's
+fast-backend refactor needs a *prioritized* answer, not a guess.  A
+:class:`PhaseProfiler` attaches to one live
+:class:`~repro.core.machine.Machine` and attributes wall-clock to:
+
+* the five **pipeline stages** — fetch, dispatch, issue, writeback,
+  commit (``stage.*``), plus the whole-cycle total (``cycle``);
+* the measurement **subsystems** the paper's instruments ride on —
+  functional feed execution (``subsys.feed``), width detection and the
+  width histogram (``subsys.width_detect`` / ``subsys.width_hist``),
+  operand-fluctuation tracking, power accounting, packing decisions,
+  and memory-hierarchy accesses.
+
+Attachment is pure **instance-level method wrapping** (plus a
+module-global patch of the packing helpers, which are free functions
+in the machine's namespace): a machine that never calls
+``enable_profiling()`` executes byte-for-byte the same code as before
+this module existed — the disabled path is zero-cost the same way the
+PR-1 event bus is, and ``benchmarks/test_perf_overhead.py`` holds that
+line.  :meth:`detach` restores every wrapped attribute and module
+global exactly, so results from a once-profiled machine stay
+bit-exact.  Wall-clock is *almost* restored: CPython materializes an
+object's split-keys ``__dict__`` when the wrappers are installed and
+never reverts it, leaving attribute lookups on a once-profiled
+machine ~10% slower — timing-sensitive comparisons should use a fresh
+machine, not a detached one.
+
+Caveats: phase times are *inclusive* (``cycle`` contains the stages;
+``stage.issue`` contains packing/width/power subsystem time) and carry
+the ``perf_counter`` call overhead of the wrappers themselves — use
+the report to *rank* targets, not as absolute microbenchmarks.  The
+packing-helper patch is process-global while attached; profile one
+machine at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.perf.clock import perf_now
+
+#: Pipeline-stage methods wrapped on attach, in stage order.
+STAGE_PHASES: tuple[tuple[str, str], ...] = (
+    ("_fetch", "stage.fetch"),
+    ("_dispatch", "stage.dispatch"),
+    ("_issue", "stage.issue"),
+    ("_writeback", "stage.writeback"),
+    ("_commit", "stage.commit"),
+)
+
+#: Packing helpers (module-level functions in the machine's namespace)
+#: timed under ``subsys.packing`` while a profiler is attached.
+_PACKING_GLOBALS = ("try_join", "open_pack", "replay_overflows")
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock for one attached machine."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self._machine = None
+        #: (owner, attr, had_instance_attr, previous value)
+        self._saved: list[tuple[object, str, bool, object]] = []
+        self._saved_globals: dict[str, object] = {}
+
+    # ---------------------------------------------------------- attach
+
+    @property
+    def attached(self) -> bool:
+        return self._machine is not None
+
+    def attach(self, machine) -> "PhaseProfiler":
+        """Wrap the machine's hot-loop entry points with timers."""
+        if self._machine is not None:
+            raise RuntimeError("profiler is already attached")
+        self._machine = machine
+
+        self._wrap(machine, "step", "cycle")
+        for attr, phase in STAGE_PHASES:
+            self._wrap(machine, attr, phase)
+        self._wrap(machine.feed, "next", "subsys.feed")
+        self._wrap(machine.widths, "record", "subsys.width_hist")
+        self._wrap(machine.fluctuation, "record", "subsys.fluctuation")
+        self._wrap(machine.accountant, "record_op", "subsys.power")
+        self._wrap(machine.hierarchy, "access_data", "subsys.memory")
+        self._wrap(machine.hierarchy, "fetch_instruction", "subsys.memory")
+
+        import repro.core.machine as machine_mod
+        for name in _PACKING_GLOBALS:
+            original = getattr(machine_mod, name)
+            self._saved_globals[name] = original
+            setattr(machine_mod, name,
+                    self._timed("subsys.packing", original))
+        self._wrap_global(machine_mod, "operand_pair_width",
+                          "subsys.width_detect")
+        return self
+
+    def detach(self) -> None:
+        """Undo every wrap; the machine returns to the unprofiled
+        code path exactly (instance dicts and module globals restored)."""
+        if self._machine is None:
+            return
+        import repro.core.machine as machine_mod
+        for name, original in self._saved_globals.items():
+            setattr(machine_mod, name, original)
+        self._saved_globals.clear()
+        for owner, attr, had, previous in reversed(self._saved):
+            if had:
+                setattr(owner, attr, previous)
+            else:
+                delattr(owner, attr)
+        self._saved.clear()
+        self._machine = None
+
+    def _wrap(self, owner, attr: str, phase: str) -> None:
+        had = attr in vars(owner)
+        previous = getattr(owner, attr)
+        self._saved.append((owner, attr, had, previous))
+        setattr(owner, attr, self._timed(phase, previous))
+
+    def _wrap_global(self, module, name: str, phase: str) -> None:
+        original = getattr(module, name)
+        self._saved_globals[name] = original
+        setattr(module, name, self._timed(phase, original))
+
+    def _timed(self, phase: str, fn: Callable) -> Callable:
+        seconds = self.seconds
+        calls = self.calls
+
+        def wrapper(*args, **kwargs):
+            t0 = perf_now()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                dt = perf_now() - t0
+                seconds[phase] = seconds.get(phase, 0.0) + dt
+                calls[phase] = calls.get(phase, 0) + 1
+
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper
+
+    # ---------------------------------------------------------- report
+
+    def as_dict(self) -> dict:
+        """JSON-safe report: per-phase calls/seconds plus the share of
+        the inclusive cycle total (the ranking key)."""
+        cycle = self.seconds.get("cycle", 0.0)
+        return {
+            "cycle_seconds": cycle,
+            "cycles": self.calls.get("cycle", 0),
+            "phases": {
+                name: {
+                    "calls": self.calls.get(name, 0),
+                    "seconds": self.seconds.get(name, 0.0),
+                    "share": (self.seconds.get(name, 0.0) / cycle
+                              if cycle else 0.0),
+                }
+                for name in sorted(self.seconds)
+            },
+        }
+
+    def targets(self) -> list[dict]:
+        """Phases ranked by spent seconds, hottest first — the
+        prioritized work list for the fast-backend refactor (the
+        inclusive ``cycle`` total is excluded from the ranking)."""
+        report = self.as_dict()
+        ranked = [dict(name=name, **data)
+                  for name, data in report["phases"].items()
+                  if name != "cycle"]
+        ranked.sort(key=lambda r: (-r["seconds"], r["name"]))
+        return ranked
+
+    def table(self) -> str:
+        """Human-readable ranking (stderr material, never stdout)."""
+        report = self.as_dict()
+        lines = [f"{'phase':22s} {'calls':>10s} {'seconds':>9s} "
+                 f"{'share':>6s}"]
+        lines.append("-" * len(lines[0]))
+        cycle = report["phases"].get("cycle")
+        if cycle is not None:
+            lines.append(f"{'cycle (total)':22s} {cycle['calls']:10d} "
+                         f"{cycle['seconds']:9.3f} {'100%':>6s}")
+        for row in self.targets():
+            lines.append(f"{row['name']:22s} {row['calls']:10d} "
+                         f"{row['seconds']:9.3f} {row['share']:6.1%}")
+        return "\n".join(lines)

@@ -46,6 +46,7 @@ from repro.core.config import BASELINE, MachineConfig
 from repro.core.feed import DynInst
 from repro.core.machine import Machine
 from repro.obs.events import CommitEvent, Event
+from repro.perf.metrics import get_registry
 from repro.robust.guards import GuardSet
 from repro.robust.inject import BaseInjector, INJECTOR_TYPES, make_injector
 from repro.workloads.registry import get_workload, resolve_warmup
@@ -145,6 +146,7 @@ def chaos_run(workload_name: str, injector: BaseInjector, seed: int,
             workload_name, scale, window, config)
         if not ref_guards.clean:
             first = ref_guards.violations[0]
+            get_registry().counter(f"chaos.{FALSE_POSITIVE}").inc()
             return ChaosOutcome(workload_name, injector.name, seed,
                                 FALSE_POSITIVE,
                                 detail=f"reference run not clean: {first}")
@@ -178,6 +180,7 @@ def chaos_run(workload_name: str, injector: BaseInjector, seed: int,
         verdict = SILENT
         detail = (f"committed stream diverged with no guard firing "
                   f"({injections} injection(s): {detail})")
+    get_registry().counter(f"chaos.{verdict}").inc()
     return ChaosOutcome(workload_name, injector.name, seed, verdict,
                         injections=injections, violations=violations,
                         detail=detail)
@@ -186,29 +189,40 @@ def chaos_run(workload_name: str, injector: BaseInjector, seed: int,
 def chaos_suite(workloads: list[str], injector_names: list[str],
                 seed: int, scale: int = 1,
                 window: int | None = None,
-                config: MachineConfig = CHAOS_CONFIG) -> list[ChaosOutcome]:
+                config: MachineConfig = CHAOS_CONFIG,
+                progress=None) -> list[ChaosOutcome]:
     """Run the full (workload x injector) matrix at one seed.
 
     One reference run per workload, shared across its injectors.  The
     per-trial injector seed mixes the suite seed with the workload and
     injector names so trials stay independent but reproducible.
+    ``progress`` (optional callable taking one short string) is called
+    before each reference run and after each trial — the CLI points it
+    at stderr so long matrices show a heartbeat without touching the
+    machine-parseable stdout.
     """
     outcomes: list[ChaosOutcome] = []
     for workload_name in workloads:
+        if progress is not None:
+            progress(f"reference {workload_name}")
         digest, ref_guards = _reference(workload_name, scale, window, config)
         if not ref_guards.clean:
             first = ref_guards.violations[0]
-            outcomes.extend(
-                ChaosOutcome(workload_name, name, seed, FALSE_POSITIVE,
-                             detail=f"reference run not clean: {first}")
-                for name in injector_names)
+            for name in injector_names:
+                get_registry().counter(f"chaos.{FALSE_POSITIVE}").inc()
+                outcomes.append(ChaosOutcome(
+                    workload_name, name, seed, FALSE_POSITIVE,
+                    detail=f"reference run not clean: {first}"))
             continue
         for name in injector_names:
             trial_seed = derive_seed(seed, workload_name, name)
             injector = make_injector(name, seed=trial_seed)
-            outcomes.append(chaos_run(
+            outcome = chaos_run(
                 workload_name, injector, seed, scale=scale, window=window,
-                config=config, reference_digest=digest))
+                config=config, reference_digest=digest)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(f"{workload_name} x {name}: {outcome.verdict}")
     return outcomes
 
 
@@ -253,6 +267,7 @@ def cache_chaos(cache_dir, mode: str = "bitflip",
     clean = RunEngine(ctx).run_jobs([job])[job.key]
     entry_paths = sorted(p for p in cache_dir.glob("*.json"))
     if not entry_paths:
+        get_registry().counter(f"chaos.{UNARMED}").inc()
         return ChaosOutcome(workload, f"cache-{mode}", seed, UNARMED,
                             detail="no cache entry was stored")
     path = entry_paths[0]
@@ -288,6 +303,7 @@ def cache_chaos(cache_dir, mode: str = "bitflip",
     else:
         verdict = SILENT
         detail += " (recovered counters differ from clean run)"
+    get_registry().counter(f"chaos.{verdict}").inc()
     return ChaosOutcome(workload, f"cache-{mode}", seed, verdict,
                         injections=1, violations=quarantined,
                         detail=detail)

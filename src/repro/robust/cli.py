@@ -59,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(committed instructions)")
     parser.add_argument("--list", action="store_true",
                         help="print the injector catalog and exit")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the unified metrics snapshot "
+                             "(chaos verdict and guard counters) as "
+                             "JSON after the matrix")
     return parser
 
 
@@ -100,11 +104,17 @@ def main(argv: list[str] | None = None) -> int:
 
     workloads = args.workload or [w.name for w in all_workloads()]
 
+    # Per-trial heartbeat on stderr: stdout keeps only the verdict
+    # table + summary (what CI greps), so long matrices stay watchable
+    # without breaking machine parsing.
+    def progress(note: str) -> None:
+        print(f"[chaos] {note}", file=sys.stderr, flush=True)
+
     outcomes: list[ChaosOutcome] = []
     if injectors:
         outcomes.extend(chaos_suite(
             workloads, injectors, seed=args.seed,
-            scale=args.scale, window=args.window))
+            scale=args.scale, window=args.window, progress=progress))
 
     if args.cache_chaos:
         if args.cache_dir is not None:
@@ -123,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{counts['detected']} detected, {counts['masked']} masked, "
           f"{counts['unarmed']} unarmed "
           f"({len(outcomes)} trials, seed {args.seed})")
+    if args.metrics_out:
+        from repro.perf.metrics import get_registry
+        path = get_registry().write(args.metrics_out)
+        print(f"[metrics -> {path}]", file=sys.stderr)
     failures = counts[SILENT] + counts[FALSE_POSITIVE]
     if failures:
         print(f"FAIL: {failures} trial(s) violated the "

@@ -57,6 +57,7 @@ from repro.obs.events import (
     ReplayTrapEvent,
     SquashEvent,
 )
+from repro.perf.metrics import get_registry
 
 #: Instruction classes whose results the semantics guard recomputes.
 _OPERATE_CLASSES = frozenset({
@@ -152,6 +153,9 @@ class GuardSet:
                                        seq=seq, index=index, source=source)
         self.machine._emit(InvariantViolationEvent(
             cycle=cycle, check=check, seq=seq, detail=detail))
+        registry = get_registry()
+        registry.counter("guards.violations").inc()
+        registry.counter(f"guards.violations.{check}").inc()
         self.violations.append(violation)
         if not self.collect:
             raise violation

@@ -55,6 +55,9 @@ class JobOutcome:
     source: str = "fresh"
     #: stringified terminal error for failed/timed-out jobs.
     error: str | None = None
+    #: wall-clock spent on this job: cache-tier recall time for served
+    #: jobs, summed attempt time (worker-side for successes) otherwise.
+    wall_seconds: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -118,15 +121,18 @@ class RunReport:
     def summary_table(self) -> str:
         """Failure summary for the CLI (one row per failed job)."""
         lines = [f"{'workload':14s} {'config':12s} {'status':8s} "
-                 f"{'attempts':>8s}  error"]
+                 f"{'attempts':>8s} {'source':7s} {'wall':>8s}  error"]
         lines.append("-" * len(lines[0]))
         for o in self.failed:
             error = (o.error or "").splitlines()[-1] if o.error else ""
-            if len(error) > 60:
-                error = error[:57] + "..."
+            if len(error) > 48:
+                error = error[:45] + "..."
+            wall = (f"{o.wall_seconds:7.2f}s"
+                    if o.wall_seconds is not None else f"{'-':>8s}")
             lines.append(f"{o.job.workload:14s} "
                          f"{o.job.config.fingerprint()[:10]:12s} "
-                         f"{o.status:8s} {o.attempts:8d}  {error}")
+                         f"{o.status:8s} {o.attempts:8d} "
+                         f"{o.source:7s} {wall}  {error}")
         return "\n".join(lines)
 
     def counts(self) -> dict[str, int]:

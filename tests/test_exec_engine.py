@@ -249,9 +249,11 @@ class TestRunnerCLI:
     def test_parallel_flagged_run(self, capsys):
         from repro.experiments.runner import main
         assert main(["--jobs", "2", "table1", "table4"]) == 0
-        out = capsys.readouterr().out
-        assert "Table 1" in out and "Table 4" in out
-        assert "engine:" in out
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out and "Table 4" in captured.out
+        # Stream contract: the engine summary is progress, not output.
+        assert "engine:" in captured.err
+        assert "engine:" not in captured.out
 
     def test_no_cache_and_refresh_flags_accepted(self, tmp_path, capsys):
         from repro.experiments.runner import main

@@ -141,7 +141,12 @@ class TestCli:
             == stats["committed"]
         assert (out / "windows.jsonl").exists()
         assert (out / "manifest.jsonl").exists()
-        assert "slot conservation" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        # Stream contract: human summary on stderr, artifact paths on
+        # stdout (machine-parseable).
+        assert "slot conservation" in captured.err
+        assert "slot conservation" not in captured.out
+        assert "wrote " in captured.out
 
     def test_cli_list_workloads(self, capsys):
         assert obs_main(["--list"]) == 0

@@ -1,0 +1,149 @@
+"""repro-bench tests: matrix execution, document schema, diff logic,
+and the committed baseline's integrity (the CI perf-smoke gate diffs
+against it, so it must stay well-formed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.engine import clear_memo
+from repro.perf.bench import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WORKLOADS,
+    SCHEMA,
+    diff_against,
+    host_fingerprint,
+    main as bench_main,
+    run_matrix,
+)
+from repro.perf.metrics import reset_registry
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" \
+    / "BENCH_baseline.json"
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_memo()
+    reset_registry()
+    yield
+    clear_memo()
+    reset_registry()
+
+
+def tiny_doc(**overrides) -> dict:
+    doc = {
+        "schema": SCHEMA,
+        "host": host_fingerprint(),
+        "workloads": {
+            "go": {"cycles": 1000, "committed": 1100,
+                   "wall_seconds": 0.1, "cycles_per_sec": 10_000.0,
+                   "insts_per_sec": 11_000.0},
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestDiff:
+    def test_within_threshold_passes(self):
+        base = tiny_doc()
+        current = tiny_doc()
+        current["workloads"]["go"] = dict(
+            base["workloads"]["go"], cycles_per_sec=9_000.0)
+        notes, regressions = diff_against(current, base, 0.25)
+        assert regressions == []
+        assert any("go" in n for n in notes)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = tiny_doc()
+        current = tiny_doc()
+        current["workloads"]["go"] = dict(
+            base["workloads"]["go"], cycles_per_sec=7_000.0)  # -30%
+        _, regressions = diff_against(current, base, 0.25)
+        assert len(regressions) == 1
+        assert "go" in regressions[0]
+
+    def test_improvement_never_fails(self):
+        base = tiny_doc()
+        current = tiny_doc()
+        current["workloads"]["go"] = dict(
+            base["workloads"]["go"], cycles_per_sec=50_000.0)
+        _, regressions = diff_against(current, base, 0.25)
+        assert regressions == []
+
+    def test_schema_mismatch_is_a_regression(self):
+        base = tiny_doc(schema="repro-bench/0")
+        _, regressions = diff_against(tiny_doc(), base, 0.25)
+        assert any("schema" in r for r in regressions)
+
+    def test_host_mismatch_is_only_a_note(self):
+        base = tiny_doc(host={"platform": "other", "python": "0",
+                              "machine": "vax", "cpus": 1})
+        notes, regressions = diff_against(tiny_doc(), base, 0.25)
+        assert regressions == []
+        assert any("host" in n for n in notes)
+
+    def test_workload_set_drift_is_noted_not_fatal(self):
+        base = tiny_doc()
+        base["workloads"]["extra"] = base["workloads"]["go"]
+        current = tiny_doc()
+        current["workloads"]["new"] = current["workloads"]["go"]
+        notes, regressions = diff_against(current, base, 0.25)
+        assert regressions == []
+        assert any("extra" in n for n in notes)
+        assert any("new" in n for n in notes)
+
+
+class TestMatrix:
+    def test_run_matrix_document_shape(self):
+        doc = run_matrix(("g721-encode",), scale=1, window=2_000,
+                         repeats=1, quick=True, log=lambda _: None)
+        assert doc["schema"] == SCHEMA
+        row = doc["workloads"]["g721-encode"]
+        assert row["cycles"] > 0
+        assert row["cycles_per_sec"] > 0
+        assert row["cycles_per_sec"] == pytest.approx(
+            row["cycles"] / row["wall_seconds"], rel=0.01)
+        assert doc["obs_overhead"]["workload"] == "g721-encode"
+        assert doc["engine"] is None              # quick skips it
+        assert doc["host"] == host_fingerprint()
+        assert doc["config_fingerprint"]
+        assert doc["metrics"]["schema"].startswith("repro-metrics/")
+        json.dumps(doc)                           # JSON-safe end to end
+
+    def test_cli_writes_bench_file_and_diffs_clean_self(self, tmp_path,
+                                                        capsys):
+        code = bench_main(["--workloads", "g721-encode", "--repeats",
+                           "1", "--window", "2000", "--quick",
+                           "--out-dir", str(tmp_path)])
+        assert code == 0
+        (bench_file,) = tmp_path.glob("BENCH_*.json")
+        doc = json.loads(bench_file.read_text())
+        # Self-diff: a run can never regress against itself.
+        code = bench_main(["--workloads", "g721-encode", "--repeats",
+                           "1", "--window", "2000", "--quick",
+                           "--out-dir", str(tmp_path),
+                           "--against", str(bench_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles/sec" in out
+        assert doc["quick"] is True
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_is_well_formed(self):
+        assert BASELINE_PATH.exists(), (
+            "benchmarks/BENCH_baseline.json is the CI perf-smoke gate "
+            "and must be committed")
+        doc = json.loads(BASELINE_PATH.read_text())
+        assert doc["schema"] == SCHEMA
+        for name in DEFAULT_WORKLOADS:
+            assert name in doc["workloads"], (
+                f"baseline must cover the pinned matrix ({name})")
+            assert doc["workloads"][name]["cycles_per_sec"] > 0
+        assert 0 < DEFAULT_THRESHOLD < 1

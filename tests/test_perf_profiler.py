@@ -1,0 +1,136 @@
+"""Phase profiler tests: attribution coverage, counter exactness where
+the machine has its own ground truth, and — the load-bearing contract —
+that attach/detach leaves the machine byte-identical to one that was
+never profiled (counters *and* code path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BASELINE
+from repro.core.machine import Machine
+from repro.perf.profiler import STAGE_PHASES, PhaseProfiler
+from repro.workloads.registry import get_workload, resolve_warmup
+
+WINDOW = 3_000
+
+
+def profiled_run(workload: str = "g721-encode"):
+    spec = get_workload(workload)
+    machine = Machine(spec.build(1), BASELINE)
+    profiler = machine.enable_profiling()
+    machine.fast_forward(resolve_warmup(spec, 1))
+    result = machine.run(max_insts=WINDOW)
+    profiler.detach()
+    return machine, profiler, result
+
+
+class TestAttribution:
+    def test_every_stage_phase_is_attributed(self):
+        _, profiler, _ = profiled_run()
+        report = profiler.as_dict()
+        for _, phase in STAGE_PHASES:
+            assert phase in report["phases"], f"missing {phase}"
+            assert report["phases"][phase]["calls"] > 0
+
+    def test_cycle_count_matches_machine_exactly(self):
+        machine, profiler, result = profiled_run()
+        assert profiler.calls["cycle"] == result.stats.cycles
+        # One call per stage per cycle (the machine steps all five
+        # stages unconditionally).
+        for attr, phase in STAGE_PHASES:
+            assert profiler.calls[phase] == result.stats.cycles
+
+    def test_subsystem_phases_cover_paper_instruments(self):
+        _, profiler, result = profiled_run()
+        phases = profiler.as_dict()["phases"]
+        assert phases["subsys.feed"]["calls"] > 0
+        # The width histogram records once per issued instruction.
+        assert phases["subsys.width_hist"]["calls"] == \
+            result.stats.issued
+        assert phases["subsys.power"]["calls"] > 0
+        assert phases["subsys.memory"]["calls"] > 0
+
+    def test_stage_time_is_bounded_by_cycle_time(self):
+        _, profiler, _ = profiled_run()
+        cycle = profiler.seconds["cycle"]
+        for _, phase in STAGE_PHASES:
+            assert profiler.seconds[phase] <= cycle
+
+    def test_targets_ranked_hottest_first_without_cycle(self):
+        _, profiler, _ = profiled_run()
+        targets = profiler.targets()
+        names = [t["name"] for t in targets]
+        assert "cycle" not in names
+        seconds = [t["seconds"] for t in targets]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_table_renders_every_phase(self):
+        _, profiler, _ = profiled_run()
+        table = profiler.table()
+        assert "cycle (total)" in table
+        assert "stage.issue" in table
+
+    def test_profiling_does_not_perturb_results(self):
+        spec = get_workload("g721-encode")
+        bare = Machine(spec.build(1), BASELINE)
+        bare.fast_forward(resolve_warmup(spec, 1))
+        reference = bare.run(max_insts=WINDOW)
+        _, _, profiled = profiled_run()
+        assert profiled.stats.as_dict() == reference.stats.as_dict()
+
+
+class TestAttachDetach:
+    def test_detach_restores_instance_dicts_exactly(self):
+        machine, profiler, _ = profiled_run()
+        # Wrapping uses instance attributes; detach must remove every
+        # one it added so the class methods resolve again.
+        for owner in (machine, machine.feed, machine.widths,
+                      machine.fluctuation, machine.accountant,
+                      machine.hierarchy):
+            for attr in vars(owner):
+                assert not hasattr(getattr(owner, attr), "__wrapped__")
+        assert "step" not in vars(machine)
+
+    def test_detach_restores_module_globals(self):
+        import repro.core.machine as machine_mod
+        profiled_run()
+        for name in ("try_join", "open_pack", "replay_overflows",
+                     "operand_pair_width"):
+            assert not hasattr(getattr(machine_mod, name), "__wrapped__")
+
+    def test_unprofiled_machine_is_untouched(self):
+        """Zero-cost contract: a machine that never opted in has no
+        wrapper anywhere — its hot loop is the pre-perf code path."""
+        spec = get_workload("g721-encode")
+        machine = Machine(spec.build(1), BASELINE)
+        assert "step" not in vars(machine)
+        assert "next" not in vars(machine.feed)
+        assert machine.step.__func__ is Machine.step
+
+    def test_double_attach_rejected(self):
+        spec = get_workload("g721-encode")
+        machine = Machine(spec.build(1), BASELINE)
+        profiler = machine.enable_profiling()
+        with pytest.raises(RuntimeError, match="already attached"):
+            profiler.attach(machine)
+        profiler.detach()
+
+    def test_detach_twice_is_harmless(self):
+        spec = get_workload("g721-encode")
+        machine = Machine(spec.build(1), BASELINE)
+        profiler = machine.enable_profiling()
+        profiler.detach()
+        profiler.detach()
+        assert "step" not in vars(machine)
+
+    def test_enable_profiling_accepts_external_profiler(self):
+        spec = get_workload("g721-encode")
+        machine = Machine(spec.build(1), BASELINE)
+        mine = PhaseProfiler()
+        returned = machine.enable_profiling(mine)
+        assert returned is mine
+        assert mine.attached
+        mine.detach()
+        assert not mine.attached

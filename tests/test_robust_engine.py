@@ -275,8 +275,10 @@ class TestRunnerDegradation:
                      "--inject-fault", f"{JOB_A.workload}=crash"])
         captured = capsys.readouterr()
         assert code == 1
-        assert "job(s) failed after retries" in captured.out
-        assert "NOT rendered" in captured.out
+        # Degradation is progress/diagnostics: all of it on stderr,
+        # stdout reserved for rendered tables and figures.
+        assert "job(s) failed after retries" in captured.err
+        assert "NOT rendered" in captured.err
         assert JOB_A.workload in captured.err    # failure summary table
 
     def test_runner_rejects_bad_fault_spec(self, capsys):
