@@ -67,3 +67,44 @@ def tag_value(value: int) -> WidthTag:
     # narrow16 implies narrow33; skip the second detect when possible.
     narrow33 = narrow16 or is_narrow(value, CUT_ADDRESS)
     return WidthTag(narrow16, narrow33)
+
+
+# --------------------------------------------------------------- tag codes
+#
+# The fast backend carries tags as small integers instead of WidthTag
+# objects.  Only three tag states are reachable from tag_value (narrow16
+# implies narrow33), so a single code in {0, 1, 2} is lossless:
+
+#: nothing known about the value — WidthTag(False, False).
+TAG_WIDE = 0
+#: narrow at the 33-bit cut only — WidthTag(False, True).
+TAG_NARROW33 = 1
+#: narrow at the 16-bit cut (implies 33) — WidthTag(True, True).
+TAG_NARROW16 = 2
+
+#: code -> WidthTag, indexable by the codes above.
+TAG_OF_CODE = (
+    UNKNOWN_TAG,
+    WidthTag(narrow16=False, narrow33=True),
+    ZERO_TAG,
+)
+
+
+def tag_code(tag: WidthTag) -> int:
+    """Encode a (reachable) :class:`WidthTag` as its integer code."""
+    if tag.narrow16:
+        return TAG_NARROW16
+    if tag.narrow33:
+        return TAG_NARROW33
+    return TAG_WIDE
+
+
+def tag_code_of_value(value: int) -> int:
+    """Integer-only twin of :func:`tag_value` (fast-backend hot path)."""
+    high = value >> CUT_NARROW
+    if high == 0 or high == 0xFFFFFFFFFFFF:
+        return TAG_NARROW16
+    high = value >> CUT_ADDRESS
+    if high == 0 or high == 0x7FFFFFFF:
+        return TAG_NARROW33
+    return TAG_WIDE

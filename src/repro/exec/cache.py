@@ -49,8 +49,10 @@ from repro.exec.jobs import Job
 
 #: Cache entry schema (bump on any breaking change to the serialized
 #: result layout — old entries then read as misses).  ``/2`` added the
-#: integrity digest.
-SCHEMA = "repro-exec/2"
+#: integrity digest; ``/3`` marks the fast-backend era — entries may
+#: now have been produced by either backend (bit-exact by contract,
+#: but pre-fast-backend entries predate the contract's enforcement).
+SCHEMA = "repro-exec/3"
 
 #: Schema prefix identifying any well-formed entry of this cache,
 #: current or stale — anything else claiming to be an entry is corrupt.

@@ -12,12 +12,25 @@ from dataclasses import dataclass
 from pathlib import Path
 
 
+#: Valid simulation backends (see :attr:`RunContext.backend`).
+BACKENDS = ("reference", "fast", "both")
+
+
 @dataclass(frozen=True)
 class RunContext:
     """Execution policy for a batch of simulation jobs."""
 
     #: directory for obs run manifests (None = no obs instrumentation).
     obs_dir: Path | None = None
+    #: simulation backend: ``"reference"`` (the cycle-level
+    #: :class:`~repro.core.machine.Machine`), ``"fast"`` (the two-phase
+    #: :class:`~repro.fastsim.machine.FastMachine`; falls back to the
+    #: reference when obs instrumentation is requested, since probes
+    #: only exist there), or ``"both"`` — run the two back to back and
+    #: raise :class:`~repro.exec.engine.BackendDivergence` unless the
+    #: serialized results are identical.  ``"both"`` never recalls from
+    #: a cache tier: a recalled result would skip the cross-check.
+    backend: str = "reference"
     #: directory for the persistent result cache (None = memory only).
     cache_dir: Path | None = None
     #: consult/populate the in-process memo and the on-disk cache.
@@ -42,6 +55,9 @@ class RunContext:
     faults: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.timeout is not None and self.timeout <= 0:

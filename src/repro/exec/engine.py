@@ -78,7 +78,11 @@ from repro.core.machine import Machine, RunResult
 from repro.exec.cache import ResultCache
 from repro.exec.context import RunContext
 from repro.exec.jobs import Job, dedupe
-from repro.exec.serialize import result_from_dict, result_to_dict
+from repro.exec.serialize import (
+    dict_divergences,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.obs.export import build_manifest, write_manifest
 from repro.obs.sampler import IntervalSampler
 from repro.perf.clock import epoch_now, perf_now
@@ -169,7 +173,13 @@ class EngineStats:
 GLOBAL_STATS = EngineStats()
 
 
-def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
+class BackendDivergence(RuntimeError):
+    """``backend="both"`` found the fast and reference results unequal:
+    the fast backend's bit-exactness contract is broken for this job."""
+
+
+def _simulate(job: Job, obs: bool, fault: str | None = None,
+              backend: str = "reference") -> dict:
     """Execute one job (worker-side): warmup, detailed run, serialize.
 
     Returns ``{"result": <dict>, "manifest": <dict | None>, "timing":
@@ -181,19 +191,39 @@ def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
     the parent's tracer and metrics registry, then dropped.  ``fault``
     is a chaos-harness token (:func:`repro.robust.faults.apply_fault`)
     interpreted before the simulation starts.
+
+    ``backend`` selects the simulator: ``"fast"`` runs the two-phase
+    :class:`~repro.fastsim.machine.FastMachine` (unless obs
+    instrumentation was requested — probes only exist on the reference
+    machine, so obs forces the reference path); ``"both"`` runs the
+    reference then the fast backend on an identical program and raises
+    :class:`BackendDivergence` naming the divergent result paths unless
+    the serialized results are equal.
     """
     t_start = epoch_now()
     apply_fault(fault)
     workload = get_workload(job.workload)
-    machine = Machine(workload.build(job.scale), job.config)
+    warmup = resolve_warmup(workload, job.scale)
+    machine_cls = Machine
+    if backend == "fast" and not obs:
+        from repro.fastsim.machine import FastMachine
+        machine_cls = FastMachine
+    machine = machine_cls(workload.build(job.scale), job.config)
     sampler = None
     if obs:
         sampler = IntervalSampler(window=job.config.obs.sampler_window)
         machine.add_probe(sampler)
         machine.enable_stall_attribution()
-    machine.fast_forward(resolve_warmup(workload, job.scale))
+    machine.fast_forward(warmup)
+    cross = None
+    if backend == "both":
+        from repro.fastsim.machine import FastMachine
+        cross = FastMachine(workload.build(job.scale), job.config)
+        cross.fast_forward(warmup)
     t_run = epoch_now()
     result = machine.run(max_insts=workload.window)
+    cross_result = (cross.run(max_insts=workload.window)
+                    if cross is not None else None)
     t_serialize = epoch_now()
     manifest = None
     if sampler is not None:
@@ -202,6 +232,13 @@ def _simulate(job: Job, obs: bool, fault: str | None = None) -> dict:
             result, attribution=machine.attribution, sampler=sampler,
             workload=job.workload, scale=job.scale)
     payload_result = result_to_dict(result)
+    if cross_result is not None:
+        divergent = dict_divergences(payload_result,
+                                     result_to_dict(cross_result))
+        if divergent:
+            raise BackendDivergence(
+                f"{job.workload} (scale {job.scale}): fast backend "
+                f"diverges from reference at {', '.join(divergent)}")
     t_end = epoch_now()
 
     registry = MetricsRegistry()
@@ -357,6 +394,10 @@ class RunEngine:
         tracer = self.tracer
         if not ctx.use_cache or ctx.refresh:
             return None, "fresh"
+        if ctx.backend == "both":
+            # The whole point of "both" is the cross-check; a recalled
+            # result would skip it.  Always simulate fresh.
+            return None, "fresh"
         result = _MEMO.get(job.key)
         if result is not None:
             self._bump(memo_hits=1)
@@ -425,7 +466,8 @@ class RunEngine:
                 t0 = epoch_now()
                 try:
                     payload = _simulate(job, self.ctx.wants_obs,
-                                        self.ctx.fault_for(job.workload))
+                                        self.ctx.fault_for(job.workload),
+                                        self.ctx.backend)
                 except Exception as err:  # noqa: BLE001 — worker boundary
                     attempts.charge(job, FAILED, f"{type(err).__name__}: "
                                                  f"{err}",
@@ -495,7 +537,8 @@ class RunEngine:
             submits[job.key] = epoch_now()
             futures.append(
                 (job, pool.submit(_simulate, job, ctx.wants_obs,
-                                  ctx.fault_for(job.workload))))
+                                  ctx.fault_for(job.workload),
+                                  ctx.backend)))
         requeue: list[Job] = []
         broke = False
         for job, future in futures:
@@ -565,7 +608,8 @@ class RunEngine:
             pool = ProcessPoolExecutor(max_workers=1)
             submit_epoch = epoch_now()
             future = pool.submit(_simulate, job, ctx.wants_obs,
-                                 ctx.fault_for(job.workload))
+                                 ctx.fault_for(job.workload),
+                                 ctx.backend)
             try:
                 payload = future.result(timeout=ctx.timeout)
             except FutureTimeout:

@@ -32,6 +32,26 @@ def result_to_dict(result: RunResult) -> dict:
     }
 
 
+def dict_divergences(a: dict, b: dict, prefix: str = "") -> list[str]:
+    """Dotted paths at which two serialized results differ.
+
+    The backend-equivalence machinery (``--backend both``, the
+    ``backend-equivalence`` CI matrix) reports *where* two results
+    disagree, not just that they do; a leaf differing in value or
+    present on only one side contributes its path.
+    """
+    paths: list[str] = []
+    for key in sorted(set(a) | set(b), key=str):
+        left = a.get(key)
+        right = b.get(key)
+        where = f"{prefix}{key}"
+        if isinstance(left, dict) and isinstance(right, dict):
+            paths.extend(dict_divergences(left, right, where + "."))
+        elif left != right:
+            paths.append(where)
+    return paths
+
+
 def result_from_dict(data: dict, config: MachineConfig) -> RunResult:
     """Rebuild a run result from :func:`result_to_dict` output,
     reattaching the configuration the job was keyed on."""

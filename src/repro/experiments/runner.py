@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for fresh simulations "
                              "(default 1 = serial; results are "
                              "bit-exact either way)")
+    parser.add_argument("--backend", default="reference",
+                        choices=("reference", "fast", "both"),
+                        help="simulation backend: the reference "
+                             "cycle-level machine (default), the "
+                             "two-phase fast backend (bit-exact by "
+                             "contract; obs runs fall back to the "
+                             "reference), or 'both' — run the two and "
+                             "fail on any counter divergence")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent result cache directory; warm "
                              "reruns skip simulation entirely")
@@ -154,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.retries < 0:
         parser.error("--retries must be >= 0")
     ctx = RunContext(
+        backend=args.backend,
         obs_dir=args.obs_out,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,

@@ -1,0 +1,82 @@
+"""Columnar dynamic-trace capture (phase 1 of the fast backend).
+
+A :class:`TraceCapture` accumulates one row per *measured* operation —
+the exact stream the reference machine's instruments observe at issue
+time (width-tracked classes plus jumps, wrong path and replay re-issues
+included).  Rows are appended as plain Python ints and converted to
+numpy columns once, when the replay phase asks for them.
+
+The capture is also a valid sink for
+:meth:`repro.core.machine.Machine.attach_capture`, so the reference
+machine can produce a trace of its own measurement stream; the
+round-trip tests replay such traces to prove the vectorized phase-2
+paths reproduce the reference instruments bit-exactly.
+"""
+
+from __future__ import annotations
+
+from repro.bitwidth.tags import tag_code
+from repro.isa.opcodes import Opcode, OpClass
+
+#: Canonical code orders shared by capture and replay: a class/opcode
+#: code is its position in these tuples.
+CLASS_ORDER: tuple[OpClass, ...] = tuple(OpClass)
+OPCODE_ORDER: tuple[Opcode, ...] = tuple(Opcode)
+
+CLASS_CODE: dict[OpClass, int] = {c: i for i, c in enumerate(CLASS_ORDER)}
+OPCODE_CODE: dict[Opcode, int] = {o: i for i, o in enumerate(OPCODE_ORDER)}
+
+
+class TraceCapture:
+    """Row store for the measured-operation stream.
+
+    Rows are 9-tuples ``(cls, opc, pc, a, b, tag_a, tag_b, from_load,
+    produces)`` — one list append per measured operation on the hot
+    path; :meth:`columns` transposes to numpy columns once at replay.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add(self, cls_code: int, opc_code: int, pc: int, a: int, b: int,
+            tag_a: int, tag_b: int, from_load: bool,
+            produces: bool) -> None:
+        """Append one measured operation."""
+        self.rows.append((cls_code, opc_code, pc, a, b, tag_a, tag_b,
+                          from_load, produces))
+
+    def __call__(self, dyn) -> None:
+        """``Machine.attach_capture`` sink: capture a measured
+        :class:`~repro.core.feed.DynInst` from the reference machine."""
+        self.rows.append((CLASS_CODE[dyn.op_class],
+                          OPCODE_CODE[dyn.inst.opcode],
+                          dyn.pc, dyn.a_val, dyn.b_val,
+                          tag_code(dyn.tag_a), tag_code(dyn.tag_b),
+                          dyn.operand_from_load, dyn.result is not None))
+
+    def columns(self) -> dict:
+        """Materialize the trace as numpy columns for phase-2 replay."""
+        import numpy as np
+
+        rows = self.rows
+        n = len(rows)
+
+        def col(i, dtype):
+            return np.fromiter((r[i] for r in rows), dtype, count=n)
+
+        return {
+            "cls": col(0, np.int64),
+            "opc": col(1, np.int64),
+            "pc": col(2, np.int64),
+            "a": col(3, np.uint64),
+            "b": col(4, np.uint64),
+            "tag_a": col(5, np.int8),
+            "tag_b": col(6, np.int8),
+            "from_load": col(7, bool),
+            "produces": col(8, bool),
+        }

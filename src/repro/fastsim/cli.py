@@ -1,0 +1,184 @@
+"""``repro-equivalence``: the backend bit-exactness matrix.
+
+Runs every workload (all 14 by default) through the reference machine
+and the fast backend under the paper's methodology — identical warmup,
+identical detailed window — and compares the *serialized* results
+(:func:`repro.exec.serialize.result_to_dict`): every counter, the full
+width histogram, the fluctuation tracker, and the power report must be
+identical.  One divergent leaf anywhere fails the run.
+
+Output is a per-workload diff table (status, cycles, committed, the
+divergent result paths if any) plus an optional JSON document
+(``--out``) the ``backend-equivalence`` CI job uploads as an artifact.
+Exit status is the contract: 0 only when every workload matches.
+
+Configurations beyond the baseline can be swept with ``--configs``:
+``packing`` (Section 5 full packing), ``packing-replay`` (speculative
+replay packing), and ``no-detect`` (gating without load zero-detect)
+exercise the packing and gating decision paths that a baseline-only
+comparison would leave cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import BASELINE, MachineConfig
+from repro.core.machine import Machine
+from repro.exec.serialize import dict_divergences, result_to_dict
+from repro.fastsim.machine import FastMachine
+from repro.perf.clock import perf_now
+from repro.power.gating import GatingPolicy
+from repro.workloads.registry import all_workloads, get_workload, \
+    resolve_warmup
+
+#: Document schema for the ``--out`` artifact.
+SCHEMA = "repro-equivalence/1"
+
+
+def _named_configs() -> dict[str, MachineConfig]:
+    return {
+        "baseline": BASELINE,
+        "packing": BASELINE.with_packing(),
+        "packing-replay": BASELINE.with_packing(replay=True),
+        "no-detect": BASELINE.with_gating(
+            GatingPolicy(detect_loads=False)),
+    }
+
+
+def compare_one(workload_name: str, config: MachineConfig, scale: int,
+                window: int | None) -> dict:
+    """Run both backends on one (workload, config) cell; returns the
+    comparison row (wall times are informational, never compared)."""
+    workload = get_workload(workload_name)
+    warmup = resolve_warmup(workload, scale)
+    insts = window or workload.window
+
+    reference = Machine(workload.build(scale), config)
+    reference.fast_forward(warmup)
+    t0 = perf_now()
+    ref_result = reference.run(max_insts=insts)
+    ref_wall = perf_now() - t0
+
+    fast = FastMachine(workload.build(scale), config)
+    fast.fast_forward(warmup)
+    t0 = perf_now()
+    fast_result = fast.run(max_insts=insts)
+    fast_wall = perf_now() - t0
+
+    ref_dict = result_to_dict(ref_result)
+    divergences = dict_divergences(ref_dict, result_to_dict(fast_result))
+    return {
+        "workload": workload_name,
+        "match": not divergences,
+        "divergences": divergences,
+        "cycles": ref_result.stats.cycles,
+        "committed": ref_result.stats.committed,
+        "ref_wall_seconds": round(ref_wall, 4),
+        "fast_wall_seconds": round(fast_wall, 4),
+        "speedup": round(ref_wall / fast_wall, 2) if fast_wall else None,
+    }
+
+
+def render_table(rows: list[dict]) -> str:
+    """The per-workload diff table (plain text, artifact-friendly)."""
+    lines = [f"{'workload':16s} {'status':>8s} {'cycles':>10s} "
+             f"{'committed':>10s} {'ref':>7s} {'fast':>7s} {'x':>6s}  "
+             f"divergent paths"]
+    for row in rows:
+        status = "ok" if row["match"] else "DIVERGED"
+        paths = ("-" if row["match"]
+                 else ", ".join(row["divergences"][:6])
+                 + (" ..." if len(row["divergences"]) > 6 else ""))
+        lines.append(
+            f"{row['workload']:16s} {status:>8s} {row['cycles']:>10,d} "
+            f"{row['committed']:>10,d} {row['ref_wall_seconds']:>6.2f}s "
+            f"{row['fast_wall_seconds']:>6.2f}s {row['speedup']:>5.1f}x"
+            f"  {paths}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-equivalence",
+        description="Prove the fast backend bit-exact against the "
+                    "reference machine over the workload matrix.")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        metavar="NAME",
+                        help="workloads to compare (default: all)")
+    parser.add_argument("--configs", nargs="+", default=["baseline"],
+                        choices=sorted(_named_configs()),
+                        metavar="CONFIG",
+                        help="named machine configurations to sweep "
+                             "(default: baseline; choices: "
+                             + ", ".join(sorted(_named_configs())) + ")")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--window", type=int, default=None,
+                        metavar="INSTS",
+                        help="cap the detailed window (default: each "
+                             "workload's own window)")
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="write the comparison document as JSON "
+                             "(the CI artifact)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = (list(args.workloads) if args.workloads
+             else [w.name for w in all_workloads()])
+    configs = _named_configs()
+
+    sections: dict[str, list[dict]] = {}
+    divergent = 0
+    for config_name in args.configs:
+        config = configs[config_name]
+        rows = []
+        for name in names:
+            print(f"[equivalence] {config_name}/{name}",
+                  file=sys.stderr, flush=True)
+            row = compare_one(name, config, args.scale, args.window)
+            rows.append(row)
+            if not row["match"]:
+                divergent += 1
+        sections[config_name] = rows
+        print(f"\n== {config_name} "
+              f"(config {config.fingerprint()[:10]}) ==")
+        print(render_table(rows))
+
+    total = sum(len(rows) for rows in sections.values())
+    verdict = (f"backend-equivalence: {total - divergent}/{total} "
+               f"matched, {divergent} divergent")
+    print(f"\n{verdict}")
+
+    if args.out is not None:
+        doc = {
+            "schema": SCHEMA,
+            "scale": args.scale,
+            "window": args.window,
+            "divergent": divergent,
+            "total": total,
+            "configs": {
+                name: {"config_fingerprint": configs[name].fingerprint(),
+                       "workloads": rows}
+                for name, rows in sections.items()
+            },
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+
+    if divergent:
+        print(f"FAIL: {verdict}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

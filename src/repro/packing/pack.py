@@ -63,6 +63,39 @@ def static_pack_candidate(op_class: OpClass, opcode: Opcode,
     return full, replay
 
 
+def vector_pack_candidates(op_class_codes, opcode_codes, tag_a_codes,
+                           tag_b_codes, config: PackingConfig):
+    """Vectorized twin of the issue-time candidate rules (trace replay).
+
+    Takes columns of OpClass/Opcode codes (positions into
+    ``list(OpClass)`` / ``list(Opcode)``) and integer tag codes, and
+    returns boolean arrays ``(full, replay)`` mirroring
+    :func:`is_full_pack_candidate` / :func:`is_replay_pack_candidate`
+    minus the dynamic ``no_pack`` bit (which only the timing loop
+    knows).  Since ``no_pack`` only ever *removes* eligibility, every
+    operation the timing loop packed must test True here — the fast
+    backend asserts exactly that over the captured trace.
+    """
+    import numpy as np
+
+    class_order = list(OpClass)
+    opcode_order = list(Opcode)
+    packable = np.asarray(
+        [c in PACKABLE_CLASSES for c in class_order], dtype=bool)
+    replayable = np.asarray(
+        [op in REPLAY_OPS for op in opcode_order], dtype=bool)
+    cls_codes = np.asarray(op_class_codes, dtype=np.int64)
+    opc_codes = np.asarray(opcode_codes, dtype=np.int64)
+    a_narrow = np.asarray(tag_a_codes) == 2   # TAG_NARROW16
+    b_narrow = np.asarray(tag_b_codes) == 2
+    full = packable[cls_codes] & a_narrow & b_narrow
+    if config.replay:
+        replay = replayable[opc_codes] & (a_narrow != b_narrow)
+    else:
+        replay = np.zeros(cls_codes.shape, dtype=bool)
+    return full, replay
+
+
 @dataclass
 class OpenPack:
     """A partially filled ALU pack being assembled this issue cycle."""

@@ -4,9 +4,11 @@ Measures, for a pinned set of workloads, the numbers the ROADMAP's
 fast-backend work is judged by:
 
 * **simulation speed** — cycles/sec and committed insts/sec per
-  workload (best-of-N over interleaved repeats, same discipline as
+  workload for **both backends** — the reference machine and the
+  two-phase fast backend (:mod:`repro.fastsim`) — measured in the same
+  run (best-of-N over interleaved repeats, same discipline as
   ``benchmarks/``: best-of defeats scheduler noise, interleaving
-  defeats thermal drift);
+  defeats thermal drift), plus the in-run fast-over-reference speedup;
 * **engine throughput** — wall-clock for the same job batch cold
   (fresh simulation + cache store) and warm (disk-cache recall), and
   the resulting speedup;
@@ -21,11 +23,15 @@ harness a regression gate::
 
     repro-bench --quick --against benchmarks/BENCH_baseline.json
 
-``--against`` diffs cycles/sec per workload and exits nonzero when any
-falls more than ``--threshold`` (default 0.25) below the baseline.
-Host fingerprints rarely match across machines — the diff *warns* on a
-mismatch rather than failing, and the generous default threshold is
-what absorbs cross-host variance.
+``--against`` diffs cycles/sec per workload — for both backends — and
+exits nonzero when any falls more than ``--threshold`` (default 0.25)
+below the baseline.  ``--fast-floor`` additionally gates the in-run
+fast-backend speedup: every workload's fast backend must beat the
+reference by at least the floor, measured in *this* run (so the gate
+cannot be satisfied by a stale baseline).  Host fingerprints rarely
+match across machines — the diff *warns* on a mismatch (to stderr)
+rather than failing, and the generous default threshold is what
+absorbs cross-host variance.
 
 This is the one :mod:`repro.perf` module allowed to import the wider
 repo (engine, workloads): it is a leaf CLI, imported by nothing.
@@ -44,8 +50,9 @@ from pathlib import Path
 from repro.perf.clock import epoch_now, perf_now
 from repro.perf.metrics import get_registry
 
-#: Benchmark document schema.
-SCHEMA = "repro-bench/1"
+#: Benchmark document schema.  ``/2`` added the fast-backend columns
+#: (``fast_*``, ``fast_speedup``) to every workload row.
+SCHEMA = "repro-bench/2"
 
 #: The pinned default matrix: one SPEC-style integer workload, one
 #: compression kernel, one MediaBench kernel — small enough for CI,
@@ -55,6 +62,14 @@ DEFAULT_WORKLOADS = ("go", "compress", "g721-encode")
 #: Regression threshold for --against (fraction of baseline
 #: cycles/sec a workload may lose before the diff fails).
 DEFAULT_THRESHOLD = 0.25
+
+#: Minimum in-run fast-backend speedup (fast cycles/sec over reference
+#: cycles/sec, same run) before ``--fast-floor`` fails.  The fast
+#: backend measures ~5-6x on an idle development host; the default
+#: floor sits below that so shared CI runners with noisy neighbours
+#: don't flake, while still catching any change that erodes the fast
+#: path back toward interpreter speed.
+DEFAULT_FAST_FLOOR = 3.0
 
 
 def host_fingerprint() -> dict:
@@ -70,16 +85,26 @@ def host_fingerprint() -> dict:
 
 # ------------------------------------------------------------ measurement
 
-def _sim_once(workload_name: str, scale: int,
-              window: int | None, observed: bool) -> dict:
-    """One fresh simulation; returns cycles/committed/wall_seconds."""
+def _sim_once(workload_name: str, scale: int, window: int | None,
+              observed: bool, backend: str = "reference") -> dict:
+    """One fresh simulation; returns cycles/committed/wall_seconds.
+
+    ``backend`` picks the simulator (``"reference"`` or ``"fast"``);
+    the timed region is identical for both — ``machine.run`` only, with
+    construction and warmup outside, so the fast backend's phase-2
+    replay is *inside* the measurement and the speedup is honest.
+    """
     from repro.core.config import BASELINE
     from repro.core.machine import Machine
     from repro.obs.sampler import IntervalSampler
     from repro.workloads.registry import get_workload, resolve_warmup
 
     workload = get_workload(workload_name)
-    machine = Machine(workload.build(scale), BASELINE)
+    if backend == "fast":
+        from repro.fastsim.machine import FastMachine
+        machine = FastMachine(workload.build(scale), BASELINE)
+    else:
+        machine = Machine(workload.build(scale), BASELINE)
     if observed:
         sampler = IntervalSampler(window=BASELINE.obs.sampler_window)
         machine.add_probe(sampler)
@@ -96,8 +121,10 @@ def _sim_once(workload_name: str, scale: int,
 def bench_workloads(workloads: tuple[str, ...], scale: int,
                     window: int | None, repeats: int,
                     log=print) -> dict:
-    """Best-of-``repeats`` simulation speed per workload, interleaved."""
+    """Best-of-``repeats`` simulation speed per workload, interleaved,
+    for the reference machine and the fast backend in the same run."""
     walls: dict[str, list[float]] = {name: [] for name in workloads}
+    fast_walls: dict[str, list[float]] = {name: [] for name in workloads}
     shape: dict[str, dict] = {}
     for rep in range(repeats):
         for name in workloads:
@@ -105,9 +132,22 @@ def bench_workloads(workloads: tuple[str, ...], scale: int,
             run = _sim_once(name, scale, window, observed=False)
             walls[name].append(run["wall_seconds"])
             shape[name] = run
+            fast = _sim_once(name, scale, window, observed=False,
+                             backend="fast")
+            fast_walls[name].append(fast["wall_seconds"])
+            if (fast["cycles"], fast["committed"]) != \
+                    (run["cycles"], run["committed"]):
+                # The equivalence matrix is the real gate; this is the
+                # bench refusing to time two different simulations.
+                raise RuntimeError(
+                    f"{name}: fast backend shape diverges from "
+                    f"reference (cycles {fast['cycles']} vs "
+                    f"{run['cycles']}, committed {fast['committed']} "
+                    f"vs {run['committed']})")
     out = {}
     for name in workloads:
         best = min(walls[name])
+        fast_best = min(fast_walls[name])
         cycles = shape[name]["cycles"]
         committed = shape[name]["committed"]
         out[name] = {
@@ -116,6 +156,10 @@ def bench_workloads(workloads: tuple[str, ...], scale: int,
             "wall_seconds": round(best, 4),
             "cycles_per_sec": round(cycles / best, 1),
             "insts_per_sec": round(committed / best, 1),
+            "fast_wall_seconds": round(fast_best, 4),
+            "fast_cycles_per_sec": round(cycles / fast_best, 1),
+            "fast_insts_per_sec": round(committed / fast_best, 1),
+            "fast_speedup": round(best / fast_best, 2),
         }
     return out
 
@@ -208,19 +252,47 @@ def diff_against(current: dict, baseline: dict,
         if base is None:
             notes.append(f"{name}: not in baseline, skipped")
             continue
-        old = base["cycles_per_sec"]
-        new = row["cycles_per_sec"]
-        ratio = new / old if old else 0.0
-        line = (f"{name}: {old:,.0f} -> {new:,.0f} cycles/sec "
-                f"({ratio - 1.0:+.1%})")
-        if ratio < 1.0 - threshold:
-            regressions.append(line + f"  [> {threshold:.0%} regression]")
-        else:
-            notes.append(line)
+        for column, label in (("cycles_per_sec", "cycles/sec"),
+                              ("fast_cycles_per_sec",
+                               "fast cycles/sec")):
+            old = base.get(column)
+            new = row.get(column)
+            if old is None or new is None:
+                continue   # pre-fast-backend baselines lack fast_*
+            ratio = new / old if old else 0.0
+            line = (f"{name}: {old:,.0f} -> {new:,.0f} {label} "
+                    f"({ratio - 1.0:+.1%})")
+            if ratio < 1.0 - threshold:
+                regressions.append(line
+                                   + f"  [> {threshold:.0%} regression]")
+            else:
+                notes.append(line)
     missing = sorted(set(base_workloads) - set(current.get("workloads", {})))
     for name in missing:
         notes.append(f"{name}: in baseline but not measured this run")
     return notes, regressions
+
+
+def check_fast_floor(doc: dict, floor: float) -> list[str]:
+    """The in-run fast-backend speedup gate; returns failure lines.
+
+    Unlike ``--against``, this compares the two backends *within the
+    same run* — host speed cancels out, so the gate is meaningful on
+    any machine without a baseline.  ``floor <= 0`` disables it.
+    """
+    failures: list[str] = []
+    if floor <= 0:
+        return failures
+    for name, row in sorted(doc.get("workloads", {}).items()):
+        speedup = row.get("fast_speedup")
+        if speedup is None:
+            failures.append(f"{name}: no fast-backend measurement in "
+                            f"this document")
+        elif speedup < floor:
+            failures.append(f"{name}: fast backend only "
+                            f"{speedup:.2f}x over reference "
+                            f"(floor {floor:.2f}x)")
+    return failures
 
 
 # --------------------------------------------------------------------- CLI
@@ -260,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_THRESHOLD, metavar="FRAC",
                         help=f"allowed cycles/sec loss before --against "
                              f"fails (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--fast-floor", type=float,
+                        default=DEFAULT_FAST_FLOOR, metavar="X",
+                        help=f"minimum in-run fast-backend speedup per "
+                             f"workload before the run fails "
+                             f"(0 disables; default "
+                             f"{DEFAULT_FAST_FLOOR})")
     return parser
 
 
@@ -315,6 +393,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:16s} {row['cycles_per_sec']:>12,.0f} cycles/sec "
               f"{row['insts_per_sec']:>12,.0f} insts/sec "
               f"({row['wall_seconds']:.2f}s best of {repeats})")
+        print(f"{'  fast backend':16s} "
+              f"{row['fast_cycles_per_sec']:>12,.0f} cycles/sec "
+              f"{row['fast_insts_per_sec']:>12,.0f} insts/sec "
+              f"({row['fast_wall_seconds']:.2f}s, "
+              f"{row['fast_speedup']:.1f}x)")
     overhead = doc["obs_overhead"]
     print(f"{'obs overhead':16s} {overhead['overhead']:+12.1%} "
           f"({overhead['workload']}: {overhead['bare_seconds']:.2f}s "
@@ -327,20 +410,33 @@ def main(argv: list[str] | None = None) -> int:
               f"{engine['jobs']} jobs)")
     print(f"wrote {out}")
 
+    failures = 0
+    floor_failures = check_fast_floor(doc, args.fast_floor)
+    for failure in floor_failures:
+        print(f"  FAST-FLOOR {failure}", file=sys.stderr)
+    failures += len(floor_failures)
+
     if args.against is not None:
         baseline = json.loads(args.against.read_text(encoding="utf-8"))
         notes, regressions = diff_against(doc, baseline, args.threshold)
         print(f"\ndiff vs {args.against} "
               f"(threshold {args.threshold:.0%}):")
         for note in notes:
-            print(f"  {note}")
+            # Host-fingerprint drift is diagnostic context, not a
+            # result: keep it off stdout so tooling that parses the
+            # diff never mistakes it for a measurement row.
+            if "host fingerprint" in note:
+                print(f"  {note}", file=sys.stderr)
+            else:
+                print(f"  {note}")
         for regression in regressions:
             print(f"  REGRESSION {regression}", file=sys.stderr)
-        if regressions:
-            print(f"FAIL: {len(regressions)} regression(s)",
-                  file=sys.stderr)
-            return 1
-        print("  ok")
+        failures += len(regressions)
+        if not regressions:
+            print("  ok")
+    if failures:
+        print(f"FAIL: {failures} gate failure(s)", file=sys.stderr)
+        return 1
     return 0
 
 

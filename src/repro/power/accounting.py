@@ -16,6 +16,14 @@ Per-cycle figures are obtained by dividing accumulated energy-per-op
 totals by the cycle count, which equals the paper's "determining the
 amount of power saved and expended per instruction executed and
 multiplying by the average issue rate".
+
+Accumulation is *count-based*: ``record_op`` only bumps integer bucket
+counters, and every mW total is computed from the buckets in one
+canonical order (sorted by class then width).  Totals are therefore a
+pure function of the bucket counts — independent of the order
+operations were recorded — which is what lets the vectorized trace
+replay (:mod:`repro.fastsim`) reproduce them bit-exactly from a
+``numpy`` histogram of the same buckets.
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ from repro.power.devices import (
     device_power,
 )
 from repro.power.gating import GatingPolicy, gate_width
+
+#: Bucket keys per op class: the only gate widths that can occur.
+_GATE_WIDTHS = (CUT_NARROW, CUT_ADDRESS, 64)
 
 
 @dataclass
@@ -110,19 +121,22 @@ class PowerReport:
 
 @dataclass
 class PowerAccountant:
-    """Accumulates per-operation power during a simulation run."""
+    """Accumulates per-operation power during a simulation run.
+
+    Only integer counters are touched per operation; the float totals
+    (``baseline_total`` and friends) are properties derived canonically
+    from the buckets, so two accountants with equal counts report
+    bit-identical power no matter how the counts were produced.
+    """
 
     policy: GatingPolicy = field(default_factory=GatingPolicy)
 
-    baseline_total: float = 0.0
-    gated_total: float = 0.0
-    saved16_total: float = 0.0
-    saved33_total: float = 0.0
-    overhead_total: float = 0.0
     ops_total: int = 0
     ops_gated16: int = 0
     ops_gated33: int = 0
     load_dependent_gated: int = 0
+    #: produced results that paid the zero-detect (policy enabled only).
+    results_detected: int = 0
     #: execution counts per (OpClass, gate width) — feeds Figures 4-6.
     class_width_counts: dict[tuple[OpClass, int], int] = field(
         default_factory=dict)
@@ -136,46 +150,117 @@ class PowerAccountant:
         reuse the decision.  ``operand_from_load`` marks operations with
         at least one source operand produced directly by a load.
         """
-        device = device_for(op_class)
-        if device is None:
+        if device_for(op_class) is None:
             return 64
         self.ops_total += 1
-        base = device_power(device, 64)
-        self.baseline_total += base
         width = gate_width(self.policy, tag_a, tag_b)
-        active = device_power(device, width)
-        self.gated_total += active
         key = (op_class, width)
         self.class_width_counts[key] = self.class_width_counts.get(key, 0) + 1
         if width == CUT_NARROW:
             self.ops_gated16 += 1
-            self.saved16_total += base - active
         elif width == CUT_ADDRESS:
             self.ops_gated33 += 1
-            self.saved33_total += base - active
-        if width != 64:
-            self.overhead_total += MUX_OVERHEAD_MW
-            self.gated_total += MUX_OVERHEAD_MW
-            if operand_from_load:
-                self.load_dependent_gated += 1
+        if width != 64 and operand_from_load:
+            self.load_dependent_gated += 1
         if produces_result and self.policy.enabled:
             # The zero/ones-detect runs on every produced result to
             # create its width tag.
-            self.overhead_total += ZERO_DETECT_MW
-            self.gated_total += ZERO_DETECT_MW
+            self.results_detected += 1
         return width
+
+    # ---------------------------------------------------- derived totals
+
+    def _bucket_totals(self) -> tuple[float, float, float, float]:
+        """(baseline, active, saved16, saved33) mW·ops from the buckets,
+        summed in canonical (class value, width) order."""
+        baseline = active = saved16 = saved33 = 0.0
+        for (op_class, width), count in sorted(
+                self.class_width_counts.items(),
+                key=lambda item: (item[0][0].value, item[0][1])):
+            device = device_for(op_class)
+            base = device_power(device, 64)
+            gated = device_power(device, width)
+            baseline += count * base
+            active += count * gated
+            if width == CUT_NARROW:
+                saved16 += count * (base - gated)
+            elif width == CUT_ADDRESS:
+                saved33 += count * (base - gated)
+        return baseline, active, saved16, saved33
+
+    @property
+    def baseline_total(self) -> float:
+        return self._bucket_totals()[0]
+
+    @property
+    def overhead_total(self) -> float:
+        return ((self.ops_gated16 + self.ops_gated33) * MUX_OVERHEAD_MW
+                + self.results_detected * ZERO_DETECT_MW)
+
+    @property
+    def gated_total(self) -> float:
+        return self._bucket_totals()[1] + self.overhead_total
+
+    @property
+    def saved16_total(self) -> float:
+        return self._bucket_totals()[2]
+
+    @property
+    def saved33_total(self) -> float:
+        return self._bucket_totals()[3]
+
+    # ----------------------------------------------------------- builders
+
+    @classmethod
+    def from_columns(cls, policy: GatingPolicy, class_codes, class_order,
+                     gate_widths, produces, from_load) -> "PowerAccountant":
+        """Vectorized twin of a :meth:`record_op` loop (trace replay).
+
+        ``class_codes`` indexes ``class_order`` (a sequence of
+        :class:`OpClass`); ``gate_widths`` holds the per-op gating
+        decision (16/33/64); ``produces``/``from_load`` are boolean
+        arrays.  Bucket counts — and therefore every derived total —
+        equal those of an accountant fed the same operations one at a
+        time, by construction.
+        """
+        import numpy as np
+
+        codes = np.asarray(class_codes, dtype=np.int64)
+        widths = np.asarray(gate_widths, dtype=np.int64)
+        produces = np.asarray(produces, dtype=bool)
+        from_load = np.asarray(from_load, dtype=bool)
+        accounted = np.asarray(
+            [device_for(c) is not None for c in class_order], dtype=bool)
+        keep = accounted[codes]
+        codes, widths = codes[keep], widths[keep]
+        produces, from_load = produces[keep], from_load[keep]
+
+        acc = cls(policy=policy)
+        acc.ops_total = int(keep.sum())
+        acc.ops_gated16 = int((widths == CUT_NARROW).sum())
+        acc.ops_gated33 = int((widths == CUT_ADDRESS).sum())
+        acc.load_dependent_gated = int(((widths != 64) & from_load).sum())
+        acc.results_detected = int(produces.sum()) if policy.enabled else 0
+        keys = codes * 65 + widths
+        counts = np.bincount(keys, minlength=len(class_order) * 65)
+        for key in np.flatnonzero(counts):
+            bucket = (class_order[int(key) // 65], int(key) % 65)
+            acc.class_width_counts[bucket] = int(counts[key])
+        return acc
 
     def report(self, cycles: int) -> PowerReport:
         """Convert accumulated energy-per-op totals to per-cycle power."""
         if cycles <= 0:
             raise ValueError("cycles must be positive")
+        baseline, active, saved16, saved33 = self._bucket_totals()
+        overhead = self.overhead_total
         return PowerReport(
             cycles=cycles,
-            baseline=self.baseline_total / cycles,
-            gated=self.gated_total / cycles,
-            saved16=self.saved16_total / cycles,
-            saved33=self.saved33_total / cycles,
-            overhead=self.overhead_total / cycles,
+            baseline=baseline / cycles,
+            gated=(active + overhead) / cycles,
+            saved16=saved16 / cycles,
+            saved33=saved33 / cycles,
+            overhead=overhead / cycles,
             ops_total=self.ops_total,
             ops_gated16=self.ops_gated16,
             ops_gated33=self.ops_gated33,

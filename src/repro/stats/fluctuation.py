@@ -39,6 +39,44 @@ class FluctuationTracker:
         self._state[pc] = (narrow, count + 1,
                            changed or (narrow != last_narrow))
 
+    @classmethod
+    def from_columns(cls, pcs, pair_widths,
+                     threshold: int = CUT_NARROW) -> "FluctuationTracker":
+        """Vectorized twin of a :meth:`record` loop (trace replay).
+
+        Reconstructs, per PC, the (last_narrow, count, ever_changed)
+        triple a record loop over the same stream would hold — including
+        the dict's first-occurrence insertion order, which the
+        serialized ``pcs`` rows expose.
+        """
+        import numpy as np
+
+        pcs = np.asarray(pcs, dtype=np.int64)
+        narrow = np.asarray(pair_widths, dtype=np.int64) <= threshold
+        tracker = cls(threshold=threshold)
+        if pcs.size == 0:
+            return tracker
+        unique, first_index, inverse, counts = np.unique(
+            pcs, return_index=True, return_inverse=True, return_counts=True)
+        # Last observation per PC: later assignments win.
+        last_index = np.zeros(unique.size, dtype=np.int64)
+        last_index[inverse] = np.arange(pcs.size)
+        last_narrow = narrow[last_index]
+        # Ever-changed per PC: any adjacent flip within the PC's
+        # time-ordered group (stable sort groups by PC, keeps time order).
+        order = np.lexsort((np.arange(pcs.size), inverse))
+        grouped_narrow = narrow[order]
+        grouped_pc = inverse[order]
+        flip = ((grouped_narrow[1:] != grouped_narrow[:-1])
+                & (grouped_pc[1:] == grouped_pc[:-1]))
+        changed = np.zeros(unique.size, dtype=bool)
+        changed[grouped_pc[1:][flip]] = True
+        for slot in np.argsort(first_index, kind="stable"):
+            tracker._state[int(unique[slot])] = (
+                bool(last_narrow[slot]), int(counts[slot]),
+                bool(changed[slot]))
+        return tracker
+
     def as_dict(self) -> dict:
         """JSON-friendly snapshot: per-PC state rows in insertion
         order, so a round trip preserves the tracker exactly."""

@@ -50,6 +50,38 @@ class WidthHistogram:
         per_class[pair_width] += 1
         self.total += 1
 
+    @classmethod
+    def from_columns(cls, op_classes, pair_widths) -> "WidthHistogram":
+        """Vectorized twin of a :meth:`record` loop (trace replay).
+
+        ``op_classes`` is a sequence of :class:`OpClass` codes as
+        positions into ``list(OpClass)``; ``pair_widths`` the matching
+        operand-pair widths.  Per-class counts are binned with numpy;
+        the ``counts`` dict lists classes in first-occurrence order, the
+        same order a record loop would have created them in.
+        """
+        import numpy as np
+
+        from repro.bitwidth.detect import WORD_WIDTH as _WW
+
+        codes = np.asarray(op_classes, dtype=np.int64)
+        widths = np.asarray(pair_widths, dtype=np.int64)
+        if codes.size and not (1 <= int(widths.min())
+                               and int(widths.max()) <= _WW):
+            raise ValueError("pair width out of range")
+        order = list(OpClass)
+        histogram = cls()
+        histogram.total = int(codes.size)
+        first_seen = {}
+        unique, first_index = np.unique(codes, return_index=True)
+        for code, index in zip(unique, first_index):
+            first_seen[int(code)] = int(index)
+        for code in sorted(first_seen, key=first_seen.__getitem__):
+            per_class = np.bincount(widths[codes == code],
+                                    minlength=_WW + 1)
+            histogram.counts[order[code]] = [int(n) for n in per_class]
+        return histogram
+
     # -- (de)serialization ---------------------------------------------------
 
     def as_dict(self) -> dict:

@@ -1,0 +1,210 @@
+"""Differential tests for the two-phase fast backend.
+
+Three layers, from leaf to whole-machine:
+
+1. the per-opcode dispatch tables (``COMPUTE_FNS``/``BRANCH_FNS``)
+   against the reference ``compute()``/``branch_taken()`` if-chains,
+   over edge-pattern operands and randomized 64-bit values;
+2. the :class:`~repro.fastsim.machine.FastMachine` against the
+   reference :class:`~repro.core.machine.Machine`: serialized results
+   (every counter, the width histogram, fluctuation, power) must be
+   identical over a matrix of workloads and configurations;
+3. the run engine's ``backend`` plumbing: ``fast`` yields the same
+   results as ``reference`` through :class:`RunEngine`, ``both``
+   cross-checks and raises :class:`BackendDivergence` on any tampering,
+   and an unknown backend is rejected at context construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BASELINE, MachineConfig
+from repro.core.machine import Machine
+from repro.exec import Job, RunContext, RunEngine, clear_memo
+from repro.exec.engine import BackendDivergence
+from repro.exec.serialize import dict_divergences, result_to_dict
+from repro.fastsim.machine import FastMachine
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    BRANCH_FNS,
+    COMPUTE_FNS,
+    MASK64,
+    branch_taken,
+    compute,
+)
+from repro.power.gating import GatingPolicy
+from repro.robust.report import SuiteFailure
+from repro.workloads.registry import get_workload, resolve_warmup
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+#: Operand bit patterns around every boundary the semantics care about:
+#: zero, the byte/word/longword edges, the 32-bit sign bit (ADDL/SUBL
+#: sign extension), and the 64-bit sign bit (signed compares, SRA).
+EDGES = (
+    0, 1, 2, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF,
+    0x10000, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 1 << 32,
+    (1 << 62), (1 << 63) - 1, 1 << 63, MASK64 - 1, MASK64,
+)
+
+
+class TestComputeTable:
+    """COMPUTE_FNS must be ``compute()`` exactly, opcode by opcode."""
+
+    def test_covers_every_operate_opcode(self):
+        # The table and the if-chain must agree on *which* opcodes are
+        # computable: every table entry runs through compute() without
+        # the ValueError fallthrough.
+        for op in COMPUTE_FNS:
+            compute(op, 1, 1, 0)
+
+    @pytest.mark.parametrize("op", sorted(COMPUTE_FNS, key=lambda o: o.name))
+    def test_edges(self, op):
+        fn = COMPUTE_FNS[op]
+        for a, b in itertools.product(EDGES, EDGES):
+            for old in (0, MASK64):
+                assert fn(a, b, old) == compute(op, a, b, old), (
+                    f"{op.name}(a={a:#x}, b={b:#x}, old={old:#x})")
+
+    @given(u64, u64, u64)
+    @settings(max_examples=60, deadline=None)
+    def test_random_operands(self, a, b, old):
+        for op, fn in COMPUTE_FNS.items():
+            assert fn(a, b, old) == compute(op, a, b, old), op.name
+
+
+class TestBranchTable:
+    """BRANCH_FNS must be ``branch_taken()`` exactly."""
+
+    def test_covers_every_conditional_branch(self):
+        for op in BRANCH_FNS:
+            branch_taken(op, 0)
+
+    @pytest.mark.parametrize("op", sorted(BRANCH_FNS, key=lambda o: o.name))
+    def test_edges(self, op):
+        fn = BRANCH_FNS[op]
+        for a in EDGES:
+            assert bool(fn(a)) == branch_taken(op, a), (
+                f"{op.name}(a={a:#x})")
+
+    @given(u64)
+    @settings(max_examples=120, deadline=None)
+    def test_random_operands(self, a):
+        for op, fn in BRANCH_FNS.items():
+            assert bool(fn(a)) == branch_taken(op, a), op.name
+
+
+# --------------------------------------------------------------- machines
+
+WINDOW = 2_000     # keeps a full cross-check under ~100ms per cell
+
+
+def run_pair(workload_name: str, config: MachineConfig,
+             window: int = WINDOW) -> list[str]:
+    """Both backends over one cell; returns the divergent result paths
+    (empty = bit-exact)."""
+    workload = get_workload(workload_name)
+    warmup = resolve_warmup(workload, 1)
+
+    reference = Machine(workload.build(1), config)
+    reference.fast_forward(warmup)
+    ref = result_to_dict(reference.run(max_insts=window))
+
+    fast = FastMachine(workload.build(1), config)
+    fast.fast_forward(warmup)
+    out = result_to_dict(fast.run(max_insts=window))
+    return dict_divergences(ref, out)
+
+
+class TestFastMachineEquivalence:
+    @pytest.mark.parametrize("workload", ["go", "compress", "g721-encode",
+                                          "gcc", "xlisp"])
+    def test_baseline_config(self, workload):
+        assert run_pair(workload, BASELINE) == []
+
+    @pytest.mark.parametrize("config", [
+        BASELINE.with_packing(),
+        BASELINE.with_packing(replay=True),
+        BASELINE.with_packing(max_subwords=2, same_opcode=False),
+        BASELINE.with_gating(GatingPolicy(detect_loads=False)),
+        BASELINE.with_predictor("bimodal"),
+    ], ids=["packing", "packing-replay", "packing-loose",
+            "no-detect", "bimodal-predictor"])
+    def test_config_matrix(self, config):
+        assert run_pair("go", config) == []
+
+    def test_window_boundaries(self):
+        # Equivalence must hold at odd cutoffs, not just round windows:
+        # the committed-instruction cutoff interacts with squashes and
+        # in-flight packing state.
+        for window in (1, 17, 501):
+            assert run_pair("compress", BASELINE, window=window) == []
+
+
+# ----------------------------------------------------------------- engine
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+JOB = Job("go", BASELINE, 1)
+
+
+class TestEngineBackend:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            RunContext(backend="warp")
+
+    def test_fast_matches_reference_through_engine(self):
+        ref = RunEngine(RunContext(use_cache=False)).run(JOB)
+        clear_memo()
+        fast = RunEngine(RunContext(backend="fast",
+                                    use_cache=False)).run(JOB)
+        assert dict_divergences(result_to_dict(ref),
+                                result_to_dict(fast)) == []
+
+    def test_both_mode_passes_clean(self):
+        result = RunEngine(RunContext(backend="both",
+                                      use_cache=False)).run(JOB)
+        assert result.stats.committed > 0
+
+    def test_both_mode_never_served_from_cache(self, tmp_path):
+        # A cached result proves nothing about the current fast
+        # backend; "both" must re-simulate even on a warm cache.
+        ctx = RunContext(cache_dir=str(tmp_path))
+        RunEngine(ctx).run(JOB)
+        clear_memo()
+        both = RunContext(backend="both", cache_dir=str(tmp_path))
+        engine = RunEngine(both)
+        engine.run(JOB)
+        assert engine.stats.cache_hits == 0
+
+    def test_both_mode_raises_on_divergence(self, monkeypatch):
+        # Tamper with the fast backend's result; the cross-check must
+        # refuse to return it and name the divergent counter.  The
+        # engine's worker boundary converts the BackendDivergence into
+        # a failed job outcome (tried once: retries=0), so the typed
+        # error surfaces through SuiteFailure.
+        original = FastMachine.run
+
+        def tampered(self, max_insts=None):
+            result = original(self, max_insts=max_insts)
+            result.stats.committed += 1
+            return result
+
+        monkeypatch.setattr(FastMachine, "run", tampered)
+        engine = RunEngine(RunContext(backend="both", use_cache=False,
+                                      retries=0))
+        with pytest.raises(SuiteFailure) as excinfo:
+            engine.run(JOB)
+        (outcome,) = excinfo.value.report.outcomes
+        assert BackendDivergence.__name__ in outcome.error
+        assert "stats.committed" in outcome.error
