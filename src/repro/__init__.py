@@ -17,7 +17,12 @@ The package provides:
 * :mod:`repro.experiments` — regeneration of every figure and table;
 * :mod:`repro.obs` — observability: the pipeline event bus, interval
   sampler, top-down CPI stall attribution, and JSONL run artifacts
-  (``repro-obs`` / ``repro-experiments --obs-out``).
+  (``repro-obs`` / ``repro-experiments --obs-out``);
+* :mod:`repro.exec` — the run engine: memo/disk-cache/fresh result
+  tiers, retries, timeouts, the sharded content-addressed store;
+* :mod:`repro.service` — the async experiment service: typed sweep
+  submissions over HTTP with request coalescing and backpressure
+  (``repro-serve`` / ``repro-sweep``).
 
 Quickstart::
 
@@ -28,22 +33,61 @@ Quickstart::
     machine = Machine(program, BASELINE.with_packing())
     result = machine.run()
     print(result.ipc, result.stats.packed_ops)
+
+Engine-tier and service use::
+
+    from repro import Job, RunContext, RunEngine
+    result = RunEngine(RunContext(cache_dir="cache")).run(Job("go", BASELINE))
+
+    from repro import JobSpec, ServiceClient, SubmitRequest
+    client = ServiceClient("http://127.0.0.1:8731")
+    sweep = client.submit(SubmitRequest(jobs=(JobSpec(workload="go"),)))
 """
 
-from repro.core.config import BASELINE, MachineConfig, PackingConfig
+from repro.core.config import (
+    BASELINE,
+    MachineConfig,
+    PackingConfig,
+    named_configs,
+)
 from repro.core.machine import Machine, RunResult
+from repro.exec import Job, RunContext, RunEngine
+from repro.experiments.registry import Experiment
 from repro.power.gating import FULL_GATING, OPCODE_ONLY, GatingPolicy
+from repro.service import (
+    Backpressure,
+    JobSpec,
+    JobStatus,
+    ServiceClient,
+    ServiceError,
+    SubmitRequest,
+    SubmitResponse,
+    SweepStatus,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BASELINE",
+    "Backpressure",
+    "Experiment",
     "FULL_GATING",
     "GatingPolicy",
+    "Job",
+    "JobSpec",
+    "JobStatus",
     "Machine",
     "MachineConfig",
     "OPCODE_ONLY",
     "PackingConfig",
+    "RunContext",
+    "RunEngine",
     "RunResult",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitRequest",
+    "SubmitResponse",
+    "SweepStatus",
+    "named_configs",
     "__version__",
 ]

@@ -142,3 +142,21 @@ class MachineConfig:
 
 #: Table 1 baseline.
 BASELINE = MachineConfig()
+
+
+def named_configs() -> dict[str, MachineConfig]:
+    """The named machine configurations shared by every public surface
+    that accepts a configuration *by name* — the experiment service's
+    submission API (:mod:`repro.service.api`) and the
+    ``repro-equivalence`` sweep.  Names are part of the wire contract:
+    removing or changing one is a breaking API change.
+    """
+    return {
+        "baseline": BASELINE,
+        "packing": BASELINE.with_packing(),
+        "packing-replay": BASELINE.with_packing(replay=True),
+        "no-detect": BASELINE.with_gating(GatingPolicy(detect_loads=False)),
+        "wide-decode": BASELINE.with_decode_width(8),
+        "wide-issue": BASELINE.with_issue_width(8, 8),
+        "perfect-predictor": BASELINE.with_predictor("perfect"),
+    }

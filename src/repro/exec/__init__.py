@@ -17,6 +17,11 @@ trip the cache uses.
 
 from repro.exec.cache import SCHEMA as CACHE_SCHEMA
 from repro.exec.cache import ResultCache
+from repro.exec.cli import (
+    add_engine_arguments,
+    context_from_args,
+    validate_engine_args,
+)
 from repro.exec.context import RunContext
 from repro.exec.engine import (
     GLOBAL_STATS,
@@ -26,17 +31,24 @@ from repro.exec.engine import (
 )
 from repro.exec.jobs import Job, dedupe
 from repro.exec.serialize import result_from_dict, result_to_dict
+from repro.exec.shards import CAS_SCHEMA, CasLayoutError, ShardedResultCache
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CAS_SCHEMA",
+    "CasLayoutError",
     "EngineStats",
     "GLOBAL_STATS",
     "Job",
     "ResultCache",
     "RunContext",
     "RunEngine",
+    "ShardedResultCache",
+    "add_engine_arguments",
     "clear_memo",
+    "context_from_args",
     "dedupe",
     "result_from_dict",
     "result_to_dict",
+    "validate_engine_args",
 ]

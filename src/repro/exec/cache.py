@@ -113,15 +113,25 @@ class ResultCache:
         path = self.path(job)
         if not path.exists():
             return None
+        entry = self.load_entry(path)
+        if entry is None:
+            return None
+        if entry.get("fingerprint") != job.fingerprint():
+            return None     # stale: a different config, not corruption
+        return entry
+
+    def load_entry(self, path: Path) -> dict | None:
+        """Verified read of one entry file: schema and integrity are
+        checked exactly as :meth:`load` does, corruption is quarantined
+        the same way.  Returns None for stale or quarantined entries.
+        The service's fingerprint-indexed lookups use this so a result
+        served by fingerprint gets the same trust path as one served by
+        job."""
         try:
             entry = self._read(path)
         except CorruptEntry as corrupt:
             self.quarantine(path, corrupt.reason, error=corrupt.error)
             return None
-        if entry is None:
-            return None
-        if entry.get("fingerprint") != job.fingerprint():
-            return None     # stale: a different config, not corruption
         return entry
 
     def _read(self, path: Path) -> dict | None:

@@ -1,9 +1,9 @@
 """Run context: everything about *how* to run that is not the job.
 
-:class:`RunContext` replaces the old ``set_obs_dir()`` module global —
-the obs directory, cache policy, and parallelism now travel explicitly
-through :func:`repro.experiments.base.run_workload` and the
-:class:`~repro.exec.engine.RunEngine`.
+The obs directory, cache policy, and parallelism travel explicitly as
+a :class:`RunContext` through
+:func:`repro.experiments.base.run_workload` and the
+:class:`~repro.exec.engine.RunEngine` — never as module-global state.
 """
 
 from __future__ import annotations
@@ -14,6 +14,9 @@ from pathlib import Path
 
 #: Valid simulation backends (see :attr:`RunContext.backend`).
 BACKENDS = ("reference", "fast", "both")
+
+#: Valid on-disk cache layouts (see :attr:`RunContext.cache_layout`).
+CACHE_LAYOUTS = ("flat", "cas")
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,13 @@ class RunContext:
     backend: str = "reference"
     #: directory for the persistent result cache (None = memory only).
     cache_dir: Path | None = None
+    #: on-disk layout under ``cache_dir``: ``"flat"`` (one directory of
+    #: entries — the CLI default) or ``"cas"`` (the sharded
+    #: content-addressed store, :class:`~repro.exec.shards.
+    #: ShardedResultCache` — what ``repro-serve`` uses so concurrent
+    #: tenants fan out across shards).  Entry bytes are identical in
+    #: both layouts; only the directory structure differs.
+    cache_layout: str = "flat"
     #: consult/populate the in-process memo and the on-disk cache.
     use_cache: bool = True
     #: ignore existing cache entries and overwrite them with fresh runs.
@@ -58,6 +68,9 @@ class RunContext:
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, "
                              f"got {self.backend!r}")
+        if self.cache_layout not in CACHE_LAYOUTS:
+            raise ValueError(f"cache_layout must be one of "
+                             f"{CACHE_LAYOUTS}, got {self.cache_layout!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.timeout is not None and self.timeout <= 0:

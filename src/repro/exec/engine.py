@@ -309,9 +309,15 @@ class RunEngine:
         #: job key -> span id of the span that produced its result
         #: (execute or cache.hit), for manifest cross-linking.
         self._span_of: dict[tuple, int] = {}
-        self._cache = (ResultCache(self.ctx.cache_dir,
-                                   on_quarantine=self._on_quarantine)
-                       if self.ctx.cache_dir is not None else None)
+        if self.ctx.cache_dir is None:
+            self._cache = None
+        elif self.ctx.cache_layout == "cas":
+            from repro.exec.shards import ShardedResultCache
+            self._cache = ShardedResultCache(
+                self.ctx.cache_dir, on_quarantine=self._on_quarantine)
+        else:
+            self._cache = ResultCache(self.ctx.cache_dir,
+                                      on_quarantine=self._on_quarantine)
 
     def _on_quarantine(self, path, reason: str) -> None:
         self._bump(cache_quarantined=1)

@@ -9,8 +9,8 @@ and Figure 7 share their baseline runs — and, when a
 :class:`~repro.exec.context.RunContext` carries a cache directory,
 persisted on disk so later sessions skip the simulation entirely.
 
-The context also replaces the old ``set_obs_dir()`` module global: obs
-directory, cache policy, and parallelism travel explicitly.  When the
+Obs directory, cache policy, and parallelism travel explicitly on the
+context — there is no module-global obs setter.  When the
 context names an obs directory, every *fresh* simulation runs with the
 interval sampler and stall attribution attached and leaves a JSON run
 manifest there — so regenerating a figure doubles as producing a
@@ -19,9 +19,7 @@ machine-readable regression artifact.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
-from pathlib import Path
 
 from repro.core.config import BASELINE, MachineConfig
 from repro.core.machine import RunResult
@@ -39,30 +37,8 @@ MEDIA_ORDER = ("gsm-encode", "gsm-decode", "mpeg2-encode", "mpeg2-decode",
                "g721-encode", "g721-decode")
 ALL_ORDER = SPEC_ORDER + MEDIA_ORDER
 
-#: Fallback context used when a caller passes no explicit one; mutated
-#: only by the deprecated :func:`set_obs_dir` shim.
+#: Fallback context used when a caller passes no explicit one.
 _DEFAULT_CONTEXT = RunContext()
-
-_OBS_DIR_WARNED = False
-
-
-def set_obs_dir(path: str | Path | None) -> None:
-    """Deprecated: pass ``RunContext(obs_dir=...)`` to
-    :func:`run_workload` (or ``--obs-out`` on the CLI) instead.
-
-    Kept as a thin shim: sets the obs directory of the fallback context
-    used when no explicit context is given.  Warns once.
-    """
-    global _DEFAULT_CONTEXT, _OBS_DIR_WARNED
-    if not _OBS_DIR_WARNED:
-        warnings.warn(
-            "set_obs_dir() is deprecated; pass RunContext(obs_dir=...) "
-            "to run_workload() instead",
-            DeprecationWarning, stacklevel=2)
-        _OBS_DIR_WARNED = True
-    _DEFAULT_CONTEXT = replace(
-        _DEFAULT_CONTEXT,
-        obs_dir=Path(path) if path is not None else None)
 
 
 def run_workload(name: str, config: MachineConfig = BASELINE,

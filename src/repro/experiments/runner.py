@@ -33,7 +33,12 @@ import argparse
 import sys
 import time
 
-from repro.exec import GLOBAL_STATS, RunContext, RunEngine
+from repro.exec import GLOBAL_STATS, RunEngine
+from repro.exec.cli import (
+    add_engine_arguments,
+    context_from_args,
+    validate_engine_args,
+)
 from repro.perf.metrics import get_registry
 from repro.robust.faults import parse_token
 from repro.experiments.registry import (
@@ -56,39 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                              + ", ".join(experiment_names()))
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for fresh simulations "
-                             "(default 1 = serial; results are "
-                             "bit-exact either way)")
-    parser.add_argument("--backend", default="reference",
-                        choices=("reference", "fast", "both"),
-                        help="simulation backend: the reference "
-                             "cycle-level machine (default), the "
-                             "two-phase fast backend (bit-exact by "
-                             "contract; obs runs fall back to the "
-                             "reference), or 'both' — run the two and "
-                             "fail on any counter divergence")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="persistent result cache directory; warm "
-                             "reruns skip simulation entirely")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="bypass every result cache tier (forces "
-                             "fresh simulation, stores nothing)")
-    parser.add_argument("--refresh", action="store_true",
-                        help="ignore existing cache entries and "
-                             "overwrite them with fresh runs")
+    add_engine_arguments(parser)
     parser.add_argument("--obs-out", default=None, metavar="DIR",
                         help="write an observability run manifest "
                              "(sampler windows + stall attribution) for "
                              "every simulation into DIR")
-    parser.add_argument("--timeout", type=float, default=None,
-                        metavar="SECONDS",
-                        help="per-job wall-clock timeout (pooled mode "
-                             "only; a hung worker is killed and the "
-                             "job retried)")
-    parser.add_argument("--retries", type=int, default=2, metavar="N",
-                        help="re-attempts per failed job before giving "
-                             "up on it (default 2)")
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="WORKLOAD=TOKEN",
                         help="chaos harness: make the worker simulating "
@@ -145,8 +122,7 @@ def _parse_faults(specs: list[str],
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
+    validate_engine_args(parser, args)
 
     valid = experiment_names()
     names = list(args.experiments)
@@ -159,19 +135,9 @@ def main(argv: list[str] | None = None) -> int:
 
     registry = all_experiments()
     selected = [registry[name] for name in names]
-    if args.retries < 0:
-        parser.error("--retries must be >= 0")
-    ctx = RunContext(
-        backend=args.backend,
-        obs_dir=args.obs_out,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        refresh=args.refresh,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        faults=_parse_faults(args.inject_fault, parser),
-    )
+    ctx = context_from_args(
+        args, obs_dir=args.obs_out,
+        faults=_parse_faults(args.inject_fault, parser))
     tracer = None
     if args.trace_out:
         from repro.perf.trace import SpanTracer

@@ -12,11 +12,20 @@ divergent result paths if any) plus an optional JSON document
 (``--out``) the ``backend-equivalence`` CI job uploads as an artifact.
 Exit status is the contract: 0 only when every workload matches.
 
-Configurations beyond the baseline can be swept with ``--configs``:
-``packing`` (Section 5 full packing), ``packing-replay`` (speculative
-replay packing), and ``no-detect`` (gating without load zero-detect)
-exercise the packing and gating decision paths that a baseline-only
-comparison would leave cold.
+Configurations beyond the baseline can be swept with ``--configs``
+using the shared named-configuration catalog
+(:func:`repro.core.config.named_configs`) — e.g. ``packing`` (Section 5
+full packing), ``packing-replay`` (speculative replay packing), and
+``no-detect`` (gating without load zero-detect) exercise the packing
+and gating decision paths that a baseline-only comparison would leave
+cold.
+
+The CLI accepts the shared run-engine flag group
+(:mod:`repro.exec.cli`) like every other repro tool.  ``--jobs`` runs
+comparison cells in parallel worker processes and ``--timeout`` bounds
+each cell; the cache and backend knobs are accepted for flag uniformity
+but deliberately inert here — an equivalence *proof* always simulates
+both backends fresh, recalling nothing.
 """
 
 from __future__ import annotations
@@ -24,29 +33,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from concurrent.futures import ProcessPoolExecutor, TimeoutError \
+    as FutureTimeout
 from pathlib import Path
 
-from repro.core.config import BASELINE, MachineConfig
+from repro.core.config import MachineConfig, named_configs
 from repro.core.machine import Machine
+from repro.exec.cli import add_engine_arguments, validate_engine_args
 from repro.exec.serialize import dict_divergences, result_to_dict
 from repro.fastsim.machine import FastMachine
 from repro.perf.clock import perf_now
-from repro.power.gating import GatingPolicy
 from repro.workloads.registry import all_workloads, get_workload, \
     resolve_warmup
 
 #: Document schema for the ``--out`` artifact.
 SCHEMA = "repro-equivalence/1"
-
-
-def _named_configs() -> dict[str, MachineConfig]:
-    return {
-        "baseline": BASELINE,
-        "packing": BASELINE.with_packing(),
-        "packing-replay": BASELINE.with_packing(replay=True),
-        "no-detect": BASELINE.with_gating(
-            GatingPolicy(detect_loads=False)),
-    }
 
 
 def compare_one(workload_name: str, config: MachineConfig, scale: int,
@@ -93,10 +94,12 @@ def render_table(rows: list[dict]) -> str:
         paths = ("-" if row["match"]
                  else ", ".join(row["divergences"][:6])
                  + (" ..." if len(row["divergences"]) > 6 else ""))
+        speedup = (f"{row['speedup']:>5.1f}x"
+                   if row["speedup"] is not None else f"{'-':>6s}")
         lines.append(
             f"{row['workload']:16s} {status:>8s} {row['cycles']:>10,d} "
             f"{row['committed']:>10,d} {row['ref_wall_seconds']:>6.2f}s "
-            f"{row['fast_wall_seconds']:>6.2f}s {row['speedup']:>5.1f}x"
+            f"{row['fast_wall_seconds']:>6.2f}s {speedup}"
             f"  {paths}")
     return "\n".join(lines)
 
@@ -110,11 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME",
                         help="workloads to compare (default: all)")
     parser.add_argument("--configs", nargs="+", default=["baseline"],
-                        choices=sorted(_named_configs()),
+                        choices=sorted(named_configs()),
                         metavar="CONFIG",
                         help="named machine configurations to sweep "
                              "(default: baseline; choices: "
-                             + ", ".join(sorted(_named_configs())) + ")")
+                             + ", ".join(sorted(named_configs())) + ")")
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor (default 1)")
     parser.add_argument("--window", type=int, default=None,
@@ -124,28 +127,62 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=Path, default=None, metavar="FILE",
                         help="write the comparison document as JSON "
                              "(the CI artifact)")
+    add_engine_arguments(parser)
     return parser
+
+
+def _run_cells(cells: list[tuple[str, MachineConfig, int, int | None]],
+               jobs: int, timeout: float | None,
+               progress) -> list[dict]:
+    """Run comparison cells — serially, or across ``jobs`` worker
+    processes (results merge in submission order, so the table and the
+    artifact are identical either way)."""
+    if jobs <= 1:
+        rows = []
+        for name, config, scale, window in cells:
+            progress(name)
+            rows.append(compare_one(name, config, scale, window))
+        return rows
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(compare_one, name, config, scale, window)
+                   for name, config, scale, window in cells]
+        rows = []
+        for (name, _config, _scale, window), future in zip(cells, futures):
+            progress(name)
+            try:
+                rows.append(future.result(timeout=timeout))
+            except FutureTimeout:
+                rows.append({
+                    "workload": name, "match": False,
+                    "divergences": [f"timed out after {timeout}s"],
+                    "cycles": 0, "committed": 0,
+                    "ref_wall_seconds": 0.0, "fast_wall_seconds": 0.0,
+                    "speedup": None,
+                })
+        return rows
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    validate_engine_args(parser, args)
     names = (list(args.workloads) if args.workloads
              else [w.name for w in all_workloads()])
-    configs = _named_configs()
+    configs = named_configs()
 
     sections: dict[str, list[dict]] = {}
     divergent = 0
     for config_name in args.configs:
         config = configs[config_name]
-        rows = []
-        for name in names:
-            print(f"[equivalence] {config_name}/{name}",
+
+        def progress(name: str, _cfg: str = config_name) -> None:
+            print(f"[equivalence] {_cfg}/{name}",
                   file=sys.stderr, flush=True)
-            row = compare_one(name, config, args.scale, args.window)
-            rows.append(row)
-            if not row["match"]:
-                divergent += 1
+
+        cells = [(name, config, args.scale, args.window)
+                 for name in names]
+        rows = _run_cells(cells, args.jobs, args.timeout, progress)
+        divergent += sum(1 for row in rows if not row["match"])
         sections[config_name] = rows
         print(f"\n== {config_name} "
               f"(config {config.fingerprint()[:10]}) ==")

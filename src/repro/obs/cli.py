@@ -14,6 +14,14 @@ stdout carries only the machine-parseable artifact paths (and the
 ``--list`` / ``--list-experiments`` listings).  ``--profile`` attaches
 the hot-loop phase profiler (:mod:`repro.perf.profiler`) and prints
 the wall-clock-per-phase ranking after the run.
+
+The CLI accepts the shared run-engine flag group
+(:mod:`repro.exec.cli`).  With ``--cache-dir`` — and no flag that
+needs a hand-instrumented machine (``--events``, ``--profile``,
+``--window``, ``--max-events``, ``--max-insts``) — the run goes
+through the run engine, so a warm cache serves the manifest without
+simulating and a cold run stores its result for every other engine
+consumer (the same artifacts are written either way).
 """
 
 from __future__ import annotations
@@ -21,13 +29,21 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.core.config import BASELINE
 from repro.core.machine import Machine
+from repro.exec.cli import (
+    add_engine_arguments,
+    context_from_args,
+    validate_engine_args,
+)
 from repro.obs.events import EventRecorder
 from repro.obs.export import (
     build_manifest,
+    read_manifest,
     write_events_jsonl,
+    write_jsonl,
     write_manifest,
     write_windows_jsonl,
 )
@@ -75,12 +91,82 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attach the hot-loop phase profiler and "
                              "print the per-phase wall-clock ranking "
                              "(stderr) after the run")
+    add_engine_arguments(parser)
     return parser
+
+
+def _engine_eligible(args: argparse.Namespace) -> bool:
+    """The engine path serves this invocation iff a cache directory is
+    in play and nothing asks for a hand-instrumented machine."""
+    return (args.cache_dir is not None and not args.no_cache
+            and not (args.events or args.profile or args.window
+                     or args.max_events or args.max_insts))
+
+
+def _run_via_engine(args: argparse.Namespace, workload, config,
+                    out_dir: str) -> int:
+    """Run (or recall) the workload through the run engine: warm cache
+    hits skip simulation yet rematerialize the identical manifest."""
+    from repro.exec import Job, RunEngine
+
+    job = Job(workload.name, config, args.scale)
+    out = Path(out_dir)
+    ctx = context_from_args(args, obs_dir=out)
+    start = time.time()
+    engine = RunEngine(ctx)
+    results, report = engine.run_jobs_report([job])
+    elapsed = time.time() - start
+    if results.get(job.key) is None:
+        outcome = report.outcome_of(job)
+        print(f"FAIL: {workload.name}: {outcome.error or 'job failed'}",
+              file=sys.stderr)
+        return 1
+    outcome = report.outcome_of(job)
+    source = "cache" if outcome.attempts == 0 else "simulated"
+
+    # Normalize the engine's <stem>.json/.jsonl artifact names to the
+    # repro-obs directory layout, then derive windows.jsonl.
+    src_json = out / f"{job.stem()}.json"
+    manifest = read_manifest(src_json)
+    json_path = out / "manifest.json"
+    jsonl_path = out / "manifest.jsonl"
+    src_json.replace(json_path)
+    src_jsonl = src_json.with_suffix(".jsonl")
+    if src_jsonl.exists():
+        src_jsonl.replace(jsonl_path)
+    windows = manifest.get("windows") or []
+    windows_path = out / "windows.jsonl"
+    write_jsonl(windows_path, windows)
+
+    stats = manifest["stats"]
+    ipc = (stats["committed"] / stats["cycles"]
+           if stats["cycles"] else 0.0)
+    err = sys.stderr
+    print(f"{workload.name}: {stats['committed']} committed / "
+          f"{stats['cycles']} cycles = {ipc:.3f} IPC "
+          f"({elapsed:.1f}s wall, {source} via engine)", file=err)
+    slots = manifest.get("attribution")
+    if slots:
+        print(f"slot conservation: {slots['slots_total']} slots "
+              f"== {slots['issue_width']} wide x {slots['cycles']} "
+              f"cycles", file=err)
+        cpi = stats["cycles"] / stats["committed"] \
+            if stats["committed"] else 0.0
+        for kind in ("used", "frontend", "deps", "structural_alu",
+                     "structural_mult", "recovery"):
+            frac = (slots[kind] / slots["slots_total"]
+                    if slots["slots_total"] else 0.0)
+            print(f"  cpi[{kind:>15s}] = {frac * cpi:.4f}", file=err)
+    print(f"windows: {len(windows)} windows", file=err)
+    for path in (json_path, jsonl_path, windows_path):
+        print(f"wrote {path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    validate_engine_args(parser, args)
 
     if args.list_workloads:
         for workload in sorted(all_workloads(), key=lambda w: w.name):
@@ -116,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
     window = args.window or config.obs.sampler_window
     max_events = args.max_events or config.obs.max_events
     out_dir = args.out or f"obs-out/{workload.name}"
+
+    if _engine_eligible(args):
+        return _run_via_engine(args, workload, config, out_dir)
+    if args.cache_dir is not None:
+        print("note: --events/--profile/--window/--max-* need the "
+              "hand-instrumented machine; running it directly (cache "
+              "flags ignored)", file=sys.stderr)
 
     machine = Machine(workload.build(args.scale), config)
     sampler = IntervalSampler(window=window)

@@ -246,26 +246,40 @@ def summarize(outcomes: list[ChaosOutcome]) -> dict[str, int]:
 
 def cache_chaos(cache_dir, mode: str = "bitflip",
                 seed: int = 0, workload: str = "g721-encode",
-                scale: int = 1) -> ChaosOutcome:
+                scale: int = 1, ctx=None) -> ChaosOutcome:
     """Corrupt a stored cache entry and demand quarantine + bit-exact
     recovery.
 
     ``mode``: ``"bitflip"`` XORs one deterministically chosen bit of
-    the entry file; ``"truncate"`` cuts the file in half.
+    the entry file; ``"truncate"`` cuts the file in half.  ``ctx`` is
+    an optional base :class:`~repro.exec.context.RunContext` (the CLI
+    threads its shared engine flags through it) — its ``cache_dir`` and
+    ``obs_dir`` are overridden, and a ``cas`` cache layout corrupts an
+    entry inside its shard, proving per-shard quarantine.
     """
+    from dataclasses import replace as _replace
+
     from repro.core.config import BASELINE as _BASELINE
     from repro.exec.context import RunContext
     from repro.exec.engine import RunEngine, clear_memo
     from repro.exec.jobs import Job
 
     job = Job(workload=workload, config=_BASELINE, scale=scale)
-    ctx = RunContext(cache_dir=cache_dir, obs_dir=None, jobs=1)
+    if ctx is None:
+        ctx = RunContext(cache_dir=cache_dir, obs_dir=None, jobs=1)
+    else:
+        ctx = _replace(ctx, cache_dir=cache_dir, obs_dir=None,
+                       use_cache=True, refresh=False)
 
     # Start from a cold memo so the clean run actually simulates and
     # stores a disk entry (a memo hit would leave the cache tier empty).
     clear_memo()
     clean = RunEngine(ctx).run_jobs([job])[job.key]
-    entry_paths = sorted(p for p in cache_dir.glob("*.json"))
+    if ctx.cache_layout == "cas":
+        from repro.exec.shards import ShardedResultCache
+        entry_paths = sorted(ShardedResultCache(cache_dir).entries())
+    else:
+        entry_paths = sorted(p for p in cache_dir.glob("*.json"))
     if not entry_paths:
         get_registry().counter(f"chaos.{UNARMED}").inc()
         return ChaosOutcome(workload, f"cache-{mode}", seed, UNARMED,

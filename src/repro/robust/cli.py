@@ -18,6 +18,11 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.exec.cli import (
+    add_engine_arguments,
+    context_from_args,
+    validate_engine_args,
+)
 from repro.robust.chaos import (
     ALL_INJECTORS,
     ChaosOutcome,
@@ -48,10 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the full injector catalog")
     parser.add_argument("--cache-chaos", choices=["bitflip", "truncate"],
                         help="also corrupt a disk-cache entry and demand "
-                             "quarantine + bit-exact recovery")
-    parser.add_argument("--cache-dir", type=Path, default=None,
-                        help="cache directory for --cache-chaos "
-                             "(default: a fresh temporary directory)")
+                             "quarantine + bit-exact recovery (uses "
+                             "the shared --cache-dir, or a fresh "
+                             "temporary directory; --cache-layout cas "
+                             "corrupts inside a CAS shard)")
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor")
     parser.add_argument("--window", type=int, default=None,
@@ -63,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the unified metrics snapshot "
                              "(chaos verdict and guard counters) as "
                              "JSON after the matrix")
+    add_engine_arguments(parser)
     return parser
 
 
@@ -91,7 +97,9 @@ def _print_outcomes(outcomes: list[ChaosOutcome]) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate_engine_args(parser, args)
     if args.list:
         _print_catalog()
         return 0
@@ -117,14 +125,20 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale, window=args.window, progress=progress))
 
     if args.cache_chaos:
+        # The shared engine flags travel into the scenario as one
+        # typed context (cache layout, backend, retries, ...).
+        ctx = context_from_args(args, obs_dir=None)
         if args.cache_dir is not None:
-            args.cache_dir.mkdir(parents=True, exist_ok=True)
+            cache_dir = Path(args.cache_dir)
+            cache_dir.mkdir(parents=True, exist_ok=True)
             outcomes.append(cache_chaos(
-                args.cache_dir, mode=args.cache_chaos, seed=args.seed))
+                cache_dir, mode=args.cache_chaos, seed=args.seed,
+                ctx=ctx))
         else:
             with tempfile.TemporaryDirectory() as tmp:
                 outcomes.append(cache_chaos(
-                    Path(tmp), mode=args.cache_chaos, seed=args.seed))
+                    Path(tmp), mode=args.cache_chaos, seed=args.seed,
+                    ctx=ctx))
 
     _print_outcomes(outcomes)
     counts = summarize(outcomes)

@@ -1,0 +1,48 @@
+"""Async experiment service: typed submissions over the run engine.
+
+The package splits into transport-free core and a thin HTTP skin:
+
+* :mod:`repro.service.api` — the typed public surface (frozen request/
+  response dataclasses, typed errors, schema version) shared verbatim
+  by the HTTP layer, the ``repro-serve`` CLI, and the blocking client;
+* :mod:`repro.service.service` — :class:`ExperimentService`, the
+  thread-based core: admission queue with backpressure, request
+  coalescing, the sharded content-addressed store, progress events;
+* :mod:`repro.service.http` — the asyncio HTTP/1.1 front end;
+* :mod:`repro.service.server` — the ``repro-serve`` entry point;
+* :mod:`repro.service.client` — blocking :class:`ServiceClient` and
+  the ``repro-sweep`` CLI (submit / stream / fetch / verify).
+"""
+
+from repro.service.api import (
+    API_SCHEMA,
+    Backpressure,
+    JobSpec,
+    JobStatus,
+    NotFound,
+    RequestInvalid,
+    ServiceError,
+    SubmitRequest,
+    SubmitResponse,
+    SweepStatus,
+)
+from repro.service.client import ServiceClient
+from repro.service.http import HttpFrontend
+from repro.service.service import ExperimentService, canonical_result_bytes
+
+__all__ = [
+    "API_SCHEMA",
+    "Backpressure",
+    "ExperimentService",
+    "HttpFrontend",
+    "JobSpec",
+    "JobStatus",
+    "NotFound",
+    "RequestInvalid",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitRequest",
+    "SubmitResponse",
+    "SweepStatus",
+    "canonical_result_bytes",
+]

@@ -1,0 +1,246 @@
+"""Minimal asyncio HTTP/1.1 front end over :class:`ExperimentService`.
+
+Stdlib only (``asyncio.start_server`` + hand-rolled request parsing) —
+the repo takes no new dependencies to become a service.  One connection
+carries one request (``Connection: close``), which keeps the parser
+tiny and makes the JSONL progress stream trivially consumable: read
+lines until EOF.
+
+Routes (all JSON, all shapes defined in :mod:`repro.service.api`):
+
+* ``POST /v1/sweeps``                — submit a sweep; 200 with the
+  initial :class:`~repro.service.api.SweepStatus`, 400 on validation,
+  429 (+ ``Retry-After`` header) on backpressure;
+* ``GET  /v1/sweeps/<id>``           — current sweep status;
+* ``GET  /v1/sweeps/<id>/events``    — JSONL progress stream (job
+  state transitions in the obs-manifest record format; closes after
+  the ``sweep.end`` record);
+* ``GET  /v1/results/<fingerprint>`` — the canonical result bytes from
+  the shared store (byte-identical to the CLI path);
+* ``GET  /v1/healthz``               — queue depth & service vitals;
+* ``GET  /v1/metrics``               — the process metrics snapshot.
+
+Every failure a handler can produce is a typed
+:class:`~repro.service.api.ServiceError` rendered by one code path, so
+the HTTP layer cannot invent an untyped error shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+
+from repro.perf.metrics import get_registry
+from repro.service.api import (
+    Backpressure,
+    NotFound,
+    RequestInvalid,
+    ServiceError,
+    SubmitRequest,
+    error_to_dict,
+)
+from repro.service.service import ExperimentService
+
+#: Largest accepted request body (a MAX_JOBS_PER_SWEEP sweep is ~100 KB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: How long one events_since poll blocks service-side before the
+#: streaming loop re-checks the connection.
+STREAM_POLL_SECONDS = 5.0
+
+logger = logging.getLogger(__name__)
+
+
+def _response_bytes(status: int, body: bytes, content_type: str,
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 413: "Payload Too Large",
+              429: "Too Many Requests",
+              500: "Internal Server Error"}.get(status, "OK")
+    headers = [f"HTTP/1.1 {status} {reason}",
+               f"Content-Type: {content_type}",
+               f"Content-Length: {len(body)}",
+               "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, document: dict,
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return _response_bytes(status, body, "application/json",
+                           extra_headers)
+
+
+def _error_response(err: ServiceError) -> bytes:
+    extra = None
+    if isinstance(err, Backpressure):
+        # The standard header alongside the typed JSON body, so plain
+        # HTTP clients back off correctly too.
+        extra = {"Retry-After": str(max(1, round(err.retry_after)))}
+    return _json_response(err.http_status, error_to_dict(err), extra)
+
+
+class HttpFrontend:
+    """Bind an :class:`ExperimentService` to a TCP port."""
+
+    def __init__(self, service: ExperimentService,
+                 host: str = "127.0.0.1", port: int = 8731) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Start listening; returns the bound (host, port) — port 0 in
+        the constructor picks a free one."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # --------------------------------------------------------- connection
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass                        # client went away mid-exchange
+        except Exception:  # noqa: BLE001 — connection boundary
+            logger.exception("unhandled error serving a connection")
+            try:
+                writer.write(_error_response(
+                    ServiceError("internal error")))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return
+        parts = request_line.split()
+        if len(parts) != 3:
+            writer.write(_error_response(
+                RequestInvalid(f"malformed request line {request_line!r}")))
+            return
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            writer.write(_error_response(RequestInvalid(
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")))
+            return
+        if length:
+            body = await reader.readexactly(length)
+
+        try:
+            await self._route(method, target, body, writer)
+        except ServiceError as err:
+            writer.write(_error_response(err))
+        await writer.drain()
+
+    # ------------------------------------------------------------- routes
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        path = target.split("?", 1)[0]
+        segments = [s for s in path.split("/") if s]
+        loop = asyncio.get_running_loop()
+
+        if method == "POST" and segments == ["v1", "sweeps"]:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as err:
+                raise RequestInvalid(f"body is not valid JSON: {err}")
+            request = SubmitRequest.from_dict(payload)
+            # submit() validates against the registries and may block
+            # briefly on the admission lock — off the event loop.
+            status = await loop.run_in_executor(
+                None, self.service.submit, request)
+            writer.write(_json_response(200, status.to_dict()))
+            return
+
+        if method == "GET" and len(segments) == 3 \
+                and segments[:2] == ["v1", "sweeps"]:
+            status = await loop.run_in_executor(
+                None, self.service.status, segments[2])
+            writer.write(_json_response(200, status.to_dict()))
+            return
+
+        if method == "GET" and len(segments) == 4 \
+                and segments[:2] == ["v1", "sweeps"] \
+                and segments[3] == "events":
+            await self._stream_events(segments[2], writer)
+            return
+
+        if method == "GET" and len(segments) == 3 \
+                and segments[:2] == ["v1", "results"]:
+            payload = await loop.run_in_executor(
+                None, self.service.result_bytes, segments[2])
+            writer.write(_response_bytes(200, payload, "application/json"))
+            return
+
+        if method == "GET" and segments == ["v1", "healthz"]:
+            writer.write(_json_response(200, self.service.health()))
+            return
+
+        if method == "GET" and segments == ["v1", "metrics"]:
+            writer.write(_json_response(200, get_registry().snapshot()))
+            return
+
+        raise NotFound(f"no route for {method} {path}")
+
+    async def _stream_events(self, sweep_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """JSONL progress stream: headers first, then one record per
+        line as they happen, closing after ``sweep.end``."""
+        loop = asyncio.get_running_loop()
+        # Probe first so a bad sweep id is a typed 404, not a
+        # half-written stream.
+        records, cursor, done = await loop.run_in_executor(
+            None, self.service.events_since, sweep_id, 0, 0.0)
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/jsonl\r\n"
+                     b"Connection: close\r\n\r\n")
+        while True:
+            for record in records:
+                writer.write((json.dumps(record, sort_keys=True)
+                              + "\n").encode("utf-8"))
+            await writer.drain()
+            if done:
+                return
+            records, cursor, done = await loop.run_in_executor(
+                None, self.service.events_since, sweep_id, cursor,
+                STREAM_POLL_SECONDS)

@@ -1,0 +1,501 @@
+"""The experiment service core: admission, coalescing, execution.
+
+:class:`ExperimentService` is the transport-free heart of the service —
+the asyncio HTTP layer (:mod:`repro.service.http`) and the tests drive
+the same object.  It owns four pieces of machinery:
+
+* a **bounded admission queue**: a submission whose *new* jobs would
+  push the queue past ``queue_limit`` is rejected atomically with the
+  typed :class:`~repro.service.api.Backpressure` (queue depth, limit,
+  retry-after estimate) — no partial admission, and rejection is
+  immediate, never a hang;
+* **request coalescing**: unique jobs are keyed by their content
+  fingerprint; a submission naming a fingerprint that is already
+  queued or running *attaches* to the in-flight entry instead of
+  enqueueing a duplicate, so N concurrent identical sweeps cost one
+  simulation (``service.coalesced`` counts the attachments);
+* a pool of **runner threads**, each executing one admitted job at a
+  time through a :class:`~repro.exec.engine.RunEngine` under the
+  service's :class:`~repro.exec.context.RunContext` — so a served job
+  gets the cache tiers, retries, timeouts, spans, and metrics a local
+  CLI run gets, and its result lands in the shared (sharded, when
+  ``cache_layout="cas"``) content-addressed store;
+* **progress events** per sweep, as JSONL-able records in the obs
+  manifest wire format: job state transitions are ``{"record": "job",
+  ...}`` lines, and when the context carries an obs directory the
+  finished job's manifest records (run/config/stats/power/attribution/
+  window) stream too.
+
+Results are served as **canonical bytes** —
+``json.dumps(result_to_dict(result), sort_keys=True,
+separators=(",", ":"))`` — the same serialize round trip every engine
+tier uses, which is why a served payload is byte-identical to what
+``repro-experiments`` computes locally for the same job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.exec.context import RunContext
+from repro.exec.engine import RunEngine
+from repro.exec.jobs import Job
+from repro.exec.serialize import result_to_dict
+from repro.exec.shards import ShardedResultCache, shard_key
+from repro.obs.export import manifest_records, read_manifest
+from repro.perf.metrics import get_registry
+from repro.service.api import (
+    API_SCHEMA,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SOURCE_COALESCED,
+    SOURCE_FRESH,
+    SOURCE_STORE,
+    Backpressure,
+    JobStatus,
+    NotFound,
+    SubmitRequest,
+    SweepStatus,
+)
+
+
+def canonical_result_bytes(result_dict: dict) -> bytes:
+    """The service's one true result encoding: canonical JSON of the
+    serialized result dict.  Both the serving path and the client-side
+    ``verify`` command call this, so "byte-identical" is a single
+    function, not a convention."""
+    return (json.dumps(result_dict, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+@dataclass
+class _Entry:
+    """One unique admitted job (the coalescing unit)."""
+
+    fingerprint: str
+    spec: object                    # the first submitter's JobSpec
+    job: Job
+    backend: str
+    state: str = QUEUED
+    source: str | None = None
+    error: str | None = None
+    result_bytes: bytes | None = None
+    #: sweep ids attached to this entry (first = the admitter).
+    sweeps: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Sweep:
+    """One submission: ordered fingerprints plus its event feed."""
+
+    sweep_id: str
+    fingerprints: list[str]
+    #: fingerprint -> source *as seen by this sweep* (an attached sweep
+    #: sees "coalesced" where the admitting sweep sees "fresh").
+    sources: dict[str, str] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+
+
+class ExperimentService:
+    """Multi-tenant front end over the run engine (transport-free)."""
+
+    def __init__(self, ctx: RunContext | None = None, *,
+                 queue_limit: int = 64, workers: int = 2) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.ctx = ctx or RunContext()
+        self.queue_limit = queue_limit
+        self.workers = workers
+        self._cond = threading.Condition()
+        self._queue: deque[str] = deque()       # admitted fingerprints
+        self._entries: dict[str, _Entry] = {}   # queued | running
+        self._done: dict[str, _Entry] = {}      # terminal
+        self._sweeps: dict[str, _Sweep] = {}
+        self._seq = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self._avg_wall = 2.0                    # EMA, seconds per job
+        self._store = (ShardedResultCache(self.ctx.cache_dir)
+                       if (self.ctx.cache_dir is not None
+                           and self.ctx.cache_layout == "cas")
+                       else None)
+        self._started_at = time.time()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "ExperimentService":
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"repro-serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting work, fail whatever is still queued (so no
+        stream waiter hangs), and join the runner threads."""
+        with self._cond:
+            self._stopping = True
+            while self._queue:
+                fingerprint = self._queue.popleft()
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._finish_locked(entry, FAILED,
+                                        error="service shut down before "
+                                              "this job ran")
+            self._set_depth_locked()
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads.clear()
+
+    # ------------------------------------------------------------- submit
+
+    def submit(self, request: SubmitRequest) -> SweepStatus:
+        """Admit a sweep (all jobs or none); returns its initial status.
+
+        Raises :class:`~repro.service.api.RequestInvalid` for unknown
+        workloads/configs and :class:`~repro.service.api.Backpressure`
+        when the admission queue cannot take the sweep's *new* jobs.
+        """
+        # Resolve outside the lock: validation is pure, and a typed
+        # failure here must not cost a lock hold.
+        resolved: list[tuple[object, Job, str]] = []
+        for spec in request.jobs:
+            job = spec.resolve()
+            resolved.append((spec, job, job.fingerprint()))
+
+        registry = get_registry()
+        with self._cond:
+            if self._stopping:
+                raise Backpressure("service is shutting down",
+                                   queue_depth=len(self._queue),
+                                   queue_limit=self.queue_limit,
+                                   retry_after=self._retry_after_locked())
+            sweep_id = f"sweep-{next(self._seq):06d}"
+            sweep = _Sweep(sweep_id, [])
+            # First pass: what would this sweep add to the queue?
+            seen: set[str] = set()
+            new_fingerprints = []
+            for _spec, _job, fingerprint in resolved:
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+                if (fingerprint not in self._entries
+                        and fingerprint not in self._done
+                        and not self._store_has(fingerprint)):
+                    new_fingerprints.append(fingerprint)
+            if len(self._queue) + len(new_fingerprints) > self.queue_limit:
+                registry.counter("service.rejected").inc()
+                depth = len(self._queue)
+                raise Backpressure(
+                    f"admission queue is full ({depth}/{self.queue_limit} "
+                    f"queued, {len(new_fingerprints)} new jobs submitted)",
+                    queue_depth=depth, queue_limit=self.queue_limit,
+                    retry_after=self._retry_after_locked())
+
+            # Second pass: mutate. All-or-nothing by construction now.
+            seen.clear()
+            for spec, job, fingerprint in resolved:
+                sweep.fingerprints.append(fingerprint)
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+                registry.counter("service.submitted_jobs").inc()
+                done = self._done.get(fingerprint)
+                if done is not None:
+                    sweep.sources[fingerprint] = SOURCE_STORE
+                    registry.counter("service.store_hits").inc()
+                    continue
+                inflight = self._entries.get(fingerprint)
+                if inflight is not None:
+                    inflight.sweeps.append(sweep_id)
+                    sweep.sources[fingerprint] = SOURCE_COALESCED
+                    registry.counter("service.coalesced").inc()
+                    continue
+                stored = self._store_load(fingerprint)
+                if stored is not None:
+                    entry = _Entry(fingerprint, spec, job, request.backend,
+                                   state=DONE, source=SOURCE_STORE,
+                                   result_bytes=canonical_result_bytes(
+                                       stored["result"]))
+                    self._done[fingerprint] = entry
+                    sweep.sources[fingerprint] = SOURCE_STORE
+                    registry.counter("service.store_hits").inc()
+                    continue
+                entry = _Entry(fingerprint, spec, job, request.backend,
+                               sweeps=[sweep_id])
+                self._entries[fingerprint] = entry
+                self._queue.append(fingerprint)
+                sweep.sources[fingerprint] = SOURCE_FRESH
+            registry.counter("service.sweeps").inc()
+            self._sweeps[sweep_id] = sweep
+            self._set_depth_locked()
+            sweep.events.append({"record": "sweep", "schema": API_SCHEMA,
+                                 "sweep_id": sweep_id,
+                                 "jobs": len(sweep.fingerprints)})
+            for _spec, _job, fingerprint in resolved:
+                self._emit_job_locked(sweep, fingerprint)
+            status = self._status_locked(sweep_id)
+            if status.done:
+                sweep.events.append(self._end_record(status))
+            self._cond.notify_all()
+        return status
+
+    # -------------------------------------------------------------- query
+
+    def status(self, sweep_id: str) -> SweepStatus:
+        with self._cond:
+            if sweep_id not in self._sweeps:
+                raise NotFound(f"no such sweep {sweep_id!r}")
+            return self._status_locked(sweep_id)
+
+    def result_bytes(self, fingerprint: str) -> bytes:
+        """The canonical result payload for a finished fingerprint —
+        from memory if this process ran it, else from the shared store."""
+        with self._cond:
+            entry = self._done.get(fingerprint)
+            if entry is not None and entry.result_bytes is not None:
+                return entry.result_bytes
+        stored = self._store_load(fingerprint)
+        if stored is not None:
+            return canonical_result_bytes(stored["result"])
+        raise NotFound(f"no result for fingerprint {fingerprint!r}")
+
+    def events_since(self, sweep_id: str, cursor: int,
+                     timeout: float = 10.0) -> tuple[list[dict], int, bool]:
+        """Progress records after ``cursor`` (blocking up to
+        ``timeout`` seconds for new ones); returns ``(records,
+        next_cursor, sweep_done)``.  The JSONL streaming endpoint calls
+        this repeatedly from an executor thread."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                raise NotFound(f"no such sweep {sweep_id!r}")
+            while True:
+                if len(sweep.events) > cursor:
+                    records = list(sweep.events[cursor:])
+                    done = (records[-1].get("record") == "sweep.end")
+                    return records, len(sweep.events), done
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], cursor, False
+                self._cond.wait(remaining)
+
+    def wait(self, sweep_id: str, timeout: float | None = None) -> SweepStatus:
+        """Block until the sweep is terminal (tests and in-process use)."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while True:
+                status = self.status(sweep_id)
+                if status.done:
+                    return status
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return status
+                self._cond.wait(remaining if remaining is not None else 1.0)
+
+    def health(self) -> dict:
+        with self._cond:
+            running = sum(1 for e in self._entries.values()
+                          if e.state == RUNNING)
+            return {
+                "schema": API_SCHEMA,
+                "status": "stopping" if self._stopping else "ok",
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "running": running,
+                "workers": self.workers,
+                "sweeps": len(self._sweeps),
+                "done": len(self._done),
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "backend": self.ctx.backend,
+                "cache_layout": self.ctx.cache_layout,
+            }
+
+    # ------------------------------------------------------------ workers
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if self._stopping and not self._queue:
+                    return
+                fingerprint = self._queue.popleft()
+                entry = self._entries[fingerprint]
+                entry.state = RUNNING
+                self._set_depth_locked()
+                self._emit_entry_locked(entry)
+                self._cond.notify_all()
+            self._run_entry(entry)
+
+    def _run_entry(self, entry: _Entry) -> None:
+        """Execute one admitted job through the engine (no lock held)."""
+        registry = get_registry()
+        ctx = self._run_ctx(entry.backend)
+        self._before_execute(entry)
+        t0 = time.monotonic()
+        try:
+            engine = RunEngine(ctx)
+            results, report = engine.run_jobs_report([entry.job])
+            outcome = report.outcome_of(entry.job)
+            result = results.get(entry.job.key)
+        except Exception as err:  # noqa: BLE001 — service boundary
+            result, outcome = None, None
+            error = f"{type(err).__name__}: {err}"
+        else:
+            error = (outcome.error or "job failed"
+                     ) if result is None else None
+        wall = time.monotonic() - t0
+        payload = None
+        source = SOURCE_FRESH
+        if result is not None:
+            payload = canonical_result_bytes(result_to_dict(result))
+            if outcome is not None and outcome.attempts == 0:
+                # The engine served it from a cache tier without
+                # simulating (e.g. another process warmed the store).
+                source = SOURCE_STORE
+            registry.histogram("service.job_seconds").observe(wall)
+        with self._cond:
+            self._avg_wall = 0.7 * self._avg_wall + 0.3 * wall
+            if payload is not None:
+                entry.result_bytes = payload
+                entry.source = source
+                registry.counter("service.fresh"
+                                 if source == SOURCE_FRESH
+                                 else "service.store_hits").inc()
+                self._finish_locked(entry, DONE)
+            else:
+                registry.counter("service.failed").inc()
+                self._finish_locked(entry, FAILED, error=error)
+            self._cond.notify_all()
+
+    def _run_ctx(self, backend: str) -> RunContext:
+        if backend == self.ctx.backend:
+            return self.ctx
+        return replace(self.ctx, backend=backend)
+
+    def _before_execute(self, entry: _Entry) -> None:
+        """Hook between the RUNNING transition and the engine call.
+
+        The coalescing tests override this to hold a job in flight
+        until a second identical sweep has attached — determinism the
+        wall clock cannot provide."""
+
+    # ---------------------------------------------------- state plumbing
+
+    def _finish_locked(self, entry: _Entry, state: str,
+                       error: str | None = None) -> None:
+        entry.state = state
+        entry.error = error
+        self._entries.pop(entry.fingerprint, None)
+        self._done[entry.fingerprint] = entry
+        self._emit_entry_locked(entry)
+        # Attached sweeps that just became terminal get their end record.
+        for sweep_id in entry.sweeps:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                continue
+            status = self._status_locked(sweep_id)
+            if status.done:
+                sweep.events.append(self._end_record(status))
+
+    def _status_locked(self, sweep_id: str) -> SweepStatus:
+        sweep = self._sweeps[sweep_id]
+        statuses = []
+        for fingerprint in sweep.fingerprints:
+            entry = (self._entries.get(fingerprint)
+                     or self._done.get(fingerprint))
+            source = entry.source or sweep.sources.get(fingerprint)
+            if (entry.state == DONE
+                    and sweep.sources.get(fingerprint) != SOURCE_FRESH):
+                # An attached/late sweep reports its own view: it was
+                # coalesced or store-served even though the entry itself
+                # ran fresh for the admitting sweep.
+                source = sweep.sources.get(fingerprint, source)
+            statuses.append(JobStatus(
+                spec=entry.spec, fingerprint=fingerprint,
+                state=entry.state, source=source, error=entry.error))
+        return SweepStatus(sweep_id=sweep_id, statuses=tuple(statuses))
+
+    def _emit_job_locked(self, sweep: _Sweep, fingerprint: str) -> None:
+        entry = (self._entries.get(fingerprint)
+                 or self._done.get(fingerprint))
+        sweep.events.append(self._job_record(entry, sweep))
+
+    def _emit_entry_locked(self, entry: _Entry) -> None:
+        for sweep_id in entry.sweeps:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                continue
+            sweep.events.append(self._job_record(entry, sweep))
+            if entry.state == DONE and self.ctx.wants_obs:
+                for record in self._manifest_records(entry):
+                    sweep.events.append(record)
+
+    def _job_record(self, entry: _Entry, sweep: _Sweep) -> dict:
+        source = entry.source or sweep.sources.get(entry.fingerprint)
+        if (entry.state == DONE
+                and sweep.sources.get(entry.fingerprint) != SOURCE_FRESH):
+            source = sweep.sources.get(entry.fingerprint, source)
+        return {"record": "job", "fingerprint": entry.fingerprint,
+                "workload": entry.job.workload, "scale": entry.job.scale,
+                "state": entry.state, "source": source,
+                "error": entry.error}
+
+    def _end_record(self, status: SweepStatus) -> dict:
+        return {"record": "sweep.end", "sweep_id": status.sweep_id,
+                "ok": status.ok,
+                "jobs": len(status.statuses)}
+
+    def _manifest_records(self, entry: _Entry) -> list[dict]:
+        """The finished job's obs manifest, flattened to the JSONL wire
+        records (the PR-1 format) and tagged with the fingerprint."""
+        assert self.ctx.obs_dir is not None
+        path = self.ctx.obs_dir / f"{entry.job.stem()}.json"
+        if not path.exists():
+            return []
+        try:
+            manifest = read_manifest(path)
+        except (OSError, ValueError):
+            return []
+        return [{**record, "fingerprint": entry.fingerprint}
+                for record in manifest_records(manifest)]
+
+    def _retry_after_locked(self) -> float:
+        estimate = (len(self._queue) + 1) * self._avg_wall / self.workers
+        return round(min(max(estimate, 1.0), 600.0), 1)
+
+    def _set_depth_locked(self) -> None:
+        get_registry().gauge("service.queue_depth").set(len(self._queue))
+
+    def _store_has(self, fingerprint: str) -> bool:
+        if fingerprint in self._done:
+            return True
+        return self._store_load(fingerprint) is not None
+
+    def _store_load(self, fingerprint: str) -> dict | None:
+        if self._store is None:
+            return None
+        if not self.ctx.use_cache or self.ctx.refresh:
+            return None
+        return self._store.load_by_fingerprint(fingerprint)
+
+
+def shard_of_fingerprint(fingerprint: str) -> str:
+    """Convenience re-export: which CAS shard a fingerprint lands in."""
+    return shard_key(fingerprint)

@@ -168,19 +168,8 @@ class TestRunnerObsDir:
         assert attr["slots_total"] == attr["issue_width"] * attr["cycles"]
         assert manifests[0].with_suffix(".jsonl").exists()
 
-    def test_set_obs_dir_shim_warns_once_and_works(self, tmp_path):
-        import warnings
-
-        import repro.experiments.base as base_module
-        base_module._OBS_DIR_WARNED = False
-        with pytest.warns(DeprecationWarning):
-            experiments_base.set_obs_dir(tmp_path)
-        try:
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")   # second call must not warn
-                experiments_base.set_obs_dir(tmp_path)
-            experiments_base.run_workload("go", BASELINE.with_packing(),
-                                          use_cache=False)
-        finally:
-            experiments_base.set_obs_dir(None)
-        assert len(list(tmp_path.glob("go-*.json"))) == 1
+    def test_no_module_global_obs_setter(self):
+        # The deprecated warn-once shim is gone for good: obs output is
+        # configured only by threading RunContext(obs_dir=...).
+        assert not hasattr(experiments_base, "set_obs" + "_dir")
+        assert not hasattr(experiments_base, "_OBS_DIR_WARNED")
