@@ -29,8 +29,14 @@ Three consumers build on the analysis:
 
 from repro.analysis.cfg import CFG, BasicBlock, build_cfg
 from repro.analysis.dataflow import InstFacts, WidthAnalysis, analyze
+from repro.analysis.effects import (
+    EffectsAnalysis,
+    MemoProof,
+    analyze_effects,
+)
 from repro.analysis.intervals import BOOL, BYTE, TOP, WORD16, Interval
 from repro.analysis.linter import Diagnostic, lint_program
+from repro.analysis.liveness import LivenessAnalysis, analyze_liveness
 from repro.analysis.oracle import DifferentialOracle, OracleViolation
 
 __all__ = [
@@ -45,6 +51,11 @@ __all__ = [
     "InstFacts",
     "WidthAnalysis",
     "analyze",
+    "EffectsAnalysis",
+    "MemoProof",
+    "analyze_effects",
+    "LivenessAnalysis",
+    "analyze_liveness",
     "Diagnostic",
     "lint_program",
     "DifferentialOracle",

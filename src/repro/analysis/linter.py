@@ -17,7 +17,14 @@ assembly and silently distort simulation results:
   a forgotten initialization);
 * **L005 indirect** — a ``jmp``/``jsr`` whose target set is statically
   unresolvable, so every analysis downstream of the CFG is maximally
-  conservative (informational).
+  conservative (informational);
+* **L006 dead-write** — a register write no CFG path reads before the
+  next write of the same register (from the backward liveness fixpoint,
+  :mod:`repro.analysis.liveness`; the CFG over-approximates indirect
+  flow, so every finding is a provably dead write, never a maybe);
+* **L007 dead-store** — a store whose byte range (from the interval
+  fixpoint) is provably disjoint from every reachable load's byte
+  range: the stored bytes can never be observed by the program.
 
 Diagnostics carry the emitting ``file:line`` when the program has an
 assembler source map, so a finding points at the workload-builder
@@ -29,9 +36,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.dataflow import WidthAnalysis, analyze
+from repro.analysis.effects import EffectsAnalysis
 from repro.isa.instruction import Program
-from repro.isa.opcodes import OpClass
-from repro.isa.registers import REG_NAMES, ZERO_REG
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import REG_INDEX, REG_NAMES, ZERO_REG
 
 #: Registers conventionally live-in despite never being written inside
 #: a block of interest: none — every workload runs from a zeroed file
@@ -39,12 +47,18 @@ from repro.isa.registers import REG_NAMES, ZERO_REG
 _RESULT_CLASSES = (OpClass.INT_ARITH, OpClass.INT_MULT,
                    OpClass.INT_LOGIC, OpClass.INT_SHIFT, OpClass.LOAD)
 
+#: Registers conventionally live-*out* at every program point: the
+#: stack pointer is established by the shared prologue as ABI
+#: convention whether or not the kernel touches the stack, so a "dead"
+#: sp write is calling-convention setup, not a mistake — L006 skips it.
+_ABI_LIVE = frozenset({REG_INDEX["sp"]})
+
 
 @dataclass(frozen=True)
 class Diagnostic:
     """One linter finding, anchored to a static instruction."""
 
-    code: str           # "L001".."L005"
+    code: str           # "L001".."L007"
     severity: str       # "error" | "warning" | "info"
     index: int          # static instruction index (-1: whole program)
     message: str
@@ -64,10 +78,15 @@ def _location(program: Program, index: int) -> str | None:
 
 
 def lint_program(program: Program,
-                 analysis: WidthAnalysis | None = None) -> list[Diagnostic]:
-    """Lint ``program``; reuses ``analysis`` when the caller already ran
-    it (the CLI does, to render widths and lint from one fixpoint)."""
+                 analysis: WidthAnalysis | None = None,
+                 effects: EffectsAnalysis | None = None,
+                 ) -> list[Diagnostic]:
+    """Lint ``program``; reuses ``analysis`` (and ``effects``) when the
+    caller already ran them (the CLI does, to render widths, memo
+    proofs, and lint from one set of fixpoints)."""
     analysis = analysis or analyze(program)
+    effects = (effects
+               or EffectsAnalysis(program, width=analysis)).run()
     cfg = analysis.cfg
     n = len(program)
     out: list[Diagnostic] = []
@@ -110,6 +129,35 @@ def lint_program(program: Program,
         emit("L005", "info", index,
              f"{inst}: indirect target is statically unresolvable; "
              f"analysis treats every block as a possible successor")
+
+    for index in effects.liveness.dead_writes():
+        inst = program.instructions[index]
+        dest = inst.dest_reg()
+        if dest in _ABI_LIVE:
+            continue
+        emit("L006", "warning", index,
+             f"{inst}: write to {REG_NAMES[dest]} is dead — every CFG "
+             f"path rewrites the register (or halts) before reading it")
+
+    # Stores in an exit block (terminated by HALT) are the program's
+    # result emission — observable output by convention, exempt even
+    # though no instruction loads them back.
+    output_stores = {
+        store.index
+        for block in cfg.reachable_blocks()
+        if program.instructions[block.end - 1].opcode is Opcode.HALT
+        for store in effects.effects[block.start].stores}
+    for store in effects.store_ranges:
+        if store.index in output_stores:
+            continue
+        if any(store.overlaps(load) for load in effects.load_ranges):
+            continue
+        inst = program.instructions[store.index]
+        where = ("anywhere" if store.unbounded
+                 else f"[{store.lo:#x}, {store.hi:#x}]")
+        emit("L007", "warning", store.index,
+             f"{inst}: stored bytes {where} are provably never loaded "
+             f"by reachable code")
 
     return out
 

@@ -1,0 +1,224 @@
+"""Backward register-liveness fixpoint and natural-loop detection.
+
+Runs over the recovered CFG (:mod:`repro.analysis.cfg`), complementing
+the forward width fixpoint (:mod:`repro.analysis.dataflow`) with the
+backward facts the block-memoization proof and the dead-code lint rules
+need:
+
+* per-block **use/def summaries** — ``use`` is the set of upward-exposed
+  register reads (read before any write inside the block), ``defs`` the
+  set of registers the block writes;
+* the **live-in / live-out fixpoint** —
+  ``live_in(B) = use(B) | (live_out(B) - defs(B))`` and
+  ``live_out(B) = U live_in(S)`` over B's CFG successors, iterated to
+  convergence with a backward worklist.  The CFG's successor relation
+  deliberately over-approximates indirect control flow (``ret`` may
+  return to any call site, ``jmp`` anywhere), so the computed live sets
+  over-approximate true liveness — which makes every *dead* verdict
+  ("not live here") sound;
+* **dominators and natural loops** — the iterative dominator fixpoint
+  over reachable blocks, back edges (``t -> h`` with ``h`` dominating
+  ``t``), and the natural loop body of each back edge.  Loop membership
+  tells the memoizer which blocks re-execute enough to be worth
+  recording and gives reports a "hot by construction" column.
+
+Everything here is a pure function of the program; results are used by
+:mod:`repro.analysis.effects` (memo proofs), the linter's L006/L007
+rules, and ``repro-lint --effects-report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.isa.instruction import Program
+
+
+@dataclass(frozen=True)
+class BlockLiveness:
+    """Converged liveness facts for one reachable basic block."""
+
+    leader: int
+    #: upward-exposed reads: registers read before any in-block write
+    use: frozenset[int]
+    #: registers written anywhere in the block
+    defs: frozenset[int]
+    live_in: frozenset[int]
+    live_out: frozenset[int]
+
+
+class LivenessAnalysis:
+    """Backward liveness + loop structure of one program; run once."""
+
+    def __init__(self, program: Program, cfg: CFG | None = None) -> None:
+        self.program = program
+        self.cfg = cfg or build_cfg(program)
+        #: leader -> converged block facts (reachable blocks only)
+        self.blocks: dict[int, BlockLiveness] = {}
+        #: loop headers -> frozenset of member block leaders
+        self.loops: dict[int, frozenset[int]] = {}
+        #: leaders of blocks inside at least one natural loop
+        self.loop_blocks: frozenset[int] = frozenset()
+        self._ran = False
+
+    # ----------------------------------------------------------- summaries
+
+    @staticmethod
+    def block_use_defs(program: Program, start: int,
+                       end: int) -> tuple[frozenset[int], frozenset[int]]:
+        """(upward-exposed reads, written registers) of the instruction
+        range ``[start, end)`` — the per-block transfer function's
+        constants."""
+        use: set[int] = set()
+        defs: set[int] = set()
+        for i in range(start, end):
+            inst = program.instructions[i]
+            for reg in inst.src_regs():
+                if reg not in defs:
+                    use.add(reg)
+            dest = inst.dest_reg()
+            if dest is not None:
+                defs.add(dest)
+        return frozenset(use), frozenset(defs)
+
+    # ------------------------------------------------------------ fixpoint
+
+    def run(self) -> "LivenessAnalysis":
+        if self._ran:
+            return self
+        self._ran = True
+        cfg = self.cfg
+        program = self.program
+        reachable = [b for b in cfg.reachable_blocks()]
+        if not reachable:
+            return self
+
+        leaders = [b.start for b in reachable]
+        leader_set = set(leaders)
+        use: dict[int, frozenset[int]] = {}
+        defs: dict[int, frozenset[int]] = {}
+        succs: dict[int, tuple[int, ...]] = {}
+        preds: dict[int, list[int]] = {lead: [] for lead in leaders}
+        for block in reachable:
+            u, d = self.block_use_defs(program, block.start, block.end)
+            use[block.start] = u
+            defs[block.start] = d
+            out = tuple(s for s in block.succs if s in leader_set)
+            succs[block.start] = out
+            for s in out:
+                preds[s].append(block.start)
+
+        live_in: dict[int, frozenset[int]] = {
+            lead: frozenset() for lead in leaders}
+        live_out: dict[int, frozenset[int]] = {
+            lead: frozenset() for lead in leaders}
+
+        # Backward worklist: seed with every block; when a block's
+        # live-in grows, re-queue its predecessors.
+        worklist = list(reversed(leaders))
+        queued = set(worklist)
+        while worklist:
+            lead = worklist.pop()
+            queued.discard(lead)
+            out: frozenset[int] = frozenset().union(
+                *(live_in[s] for s in succs[lead])) \
+                if succs[lead] else frozenset()
+            live_out[lead] = out
+            new_in = use[lead] | (out - defs[lead])
+            if new_in != live_in[lead]:
+                live_in[lead] = new_in
+                for p in preds[lead]:
+                    if p not in queued:
+                        queued.add(p)
+                        worklist.append(p)
+
+        self.blocks = {
+            lead: BlockLiveness(leader=lead, use=use[lead],
+                                defs=defs[lead], live_in=live_in[lead],
+                                live_out=live_out[lead])
+            for lead in leaders}
+        self._find_loops(leaders, succs, preds)
+        return self
+
+    # ---------------------------------------------------- loops/dominators
+
+    def _find_loops(self, leaders: list[int],
+                    succs: dict[int, tuple[int, ...]],
+                    preds: dict[int, list[int]]) -> None:
+        """Iterative dominator fixpoint, back edges, natural loops."""
+        entry = self.cfg.leader_of[self.program.entry] \
+            if 0 <= self.program.entry < len(self.program) else leaders[0]
+        if entry not in succs:
+            entry = leaders[0]
+        universe = frozenset(leaders)
+        dom: dict[int, frozenset[int]] = {
+            lead: universe for lead in leaders}
+        dom[entry] = frozenset((entry,))
+        changed = True
+        while changed:
+            changed = False
+            for lead in leaders:
+                if lead == entry:
+                    continue
+                ps = preds[lead]
+                if ps:
+                    new = frozenset.intersection(*(dom[p] for p in ps))
+                else:
+                    new = frozenset()
+                new = new | {lead}
+                if new != dom[lead]:
+                    dom[lead] = new
+                    changed = True
+
+        loops: dict[int, set[int]] = {}
+        for tail in leaders:
+            for head in succs[tail]:
+                if head not in dom[tail]:
+                    continue
+                # Back edge tail -> head: the natural loop is head plus
+                # everything that reaches tail without passing head.
+                body = loops.setdefault(head, {head})
+                stack = [tail]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(p for p in preds[node] if p not in body)
+        self.loops = {head: frozenset(body)
+                      for head, body in sorted(loops.items())}
+        members: set[int] = set()
+        for body in self.loops.values():
+            members |= body
+        self.loop_blocks = frozenset(members)
+
+    # ----------------------------------------------------------- lint hooks
+
+    def dead_writes(self) -> list[int]:
+        """Instruction indices whose register write is provably dead:
+        the written register is not live immediately after the write
+        (it is rewritten before any read on every CFG path, or no path
+        reads it again).  Sound because the live sets over-approximate;
+        excludes R31 writes (L002's finding, not a liveness fact)."""
+        self.run()
+        program = self.program
+        dead: list[int] = []
+        for lead, facts in self.blocks.items():
+            block = self.cfg.blocks[lead]
+            live = set(facts.live_out)
+            for i in range(block.end - 1, block.start - 1, -1):
+                inst = program.instructions[i]
+                dest = inst.dest_reg()
+                if dest is not None:
+                    if dest not in live:
+                        dead.append(i)
+                    live.discard(dest)
+                live.update(inst.src_regs())
+        return sorted(dead)
+
+
+def analyze_liveness(program: Program,
+                     cfg: CFG | None = None) -> LivenessAnalysis:
+    """Build (or reuse) the CFG, run the backward fixpoint, return it."""
+    return LivenessAnalysis(program, cfg).run()

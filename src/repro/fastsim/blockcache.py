@@ -1,0 +1,143 @@
+"""Proof-carrying basic-block memoization for the fast backend.
+
+The ROADMAP's remaining fastsim headroom is phase-1 Python instruction
+execution; this module batches it at basic-block granularity.  The
+static side (:mod:`repro.analysis.effects`) proves which block bodies
+are *memo-safe* — no stores, loads provably disjoint from every
+reachable store's byte range, no replay-trap-eligible operations — and
+:func:`build_plan` distills those proofs into the flat per-leader plan
+the fused loop consults.
+
+At run time a :class:`BlockMemo` maps ``(leader, key)`` to a recorded
+execution, where the key is the body's upward-exposed register reads —
+``(value, width tag, from-load bit)`` per register, a subset of the
+block's live-in set — captured the moment fetch reaches the leader:
+
+* **miss**: the body executes through the normal inlined feed.  The
+  first sighting of a key only marks it (a key seen once never repays
+  the cost of recording); on the second sighting the memoizer copies
+  each freshly created entry list as a template and, at body end,
+  snapshots the ``(register, value, tag, from_load)`` delta over the
+  body's written registers;
+* **hit**: the recorded delta is applied to the architected register
+  file and the templates replay one per fetch slot — re-stamped with
+  the live sequence number, fetch cycle, and speculative flag — through
+  the *unchanged* dispatch/issue/writeback/commit stages, so capture
+  rows, packing decisions, cache latencies, and replay traps are
+  reproduced decision-for-decision rather than approximated.
+
+Replay never spans a control transfer: the block terminator always
+executes live, so predictor/BTB/RAS state needs no replaying and a
+mispredicted terminator checkpoints exactly as before.  A hit on the
+speculative (wrong) path is taken only for load-free bodies or while
+the speculative store overlay is empty — a wrong-path load then reads
+the same immutable main-memory bytes the recording did.
+
+Bit-exactness is enforced end to end by ``repro-equivalence`` (the
+14-workload matrix with memoization on and off) and ``--backend both``;
+``--no-memo`` threads an escape hatch through
+:class:`repro.exec.context.RunContext`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.effects import EffectsAnalysis, analyze_effects
+from repro.isa.instruction import Program
+
+#: Bodies shorter than this are not worth the leader-side key probe:
+#: the replay saves less feed work than the key tuple costs to build.
+MIN_BODY_LEN = 2
+
+#: Distinct live-in keys recorded per block before recording stops for
+#: that block — bounds memo memory on key-diverse blocks while leaving
+#: loop bodies (few keys, many executions) fully covered.
+KEY_CAP = 512
+
+#: Adaptive give-up: every :data:`ADAPT_PROBES` non-hit probes of a
+#: block, its hit counter must have reached at least
+#: ``max(ADAPT_MIN_HITS, misses / 16)`` or the block is dropped from
+#: the plan (its keys are data-dependent noise — every further probe
+#: would be pure overhead).  Measured separator across the suite:
+#: profitable blocks either hit within their first handful of probes or
+#: plateau their misses well under 256 once their keys are recorded,
+#: while noise blocks (go, compress) pile up hundreds of distinct keys
+#: with ~zero hits — so the first checkpoint at 256 probes with a
+#: 16-hit bar never reaches a profitable block.  Both counters are
+#: deterministic functions of the instruction stream, so results and
+#: stats stay reproducible.
+ADAPT_PROBES = 256
+ADAPT_MIN_HITS = 16
+
+
+def build_plan(program: Program,
+               effects: EffectsAnalysis | None = None,
+               ) -> dict[int, tuple]:
+    """Distill memo proofs into the runtime plan: ``leader ->
+    (body_len, ue_regs, defs, has_loads, trap_free)`` for every
+    memo-safe block body worth recording."""
+    effects = effects or analyze_effects(program)
+    plan: dict[int, tuple] = {}
+    for leader, proof in effects.proofs.items():
+        if not proof.memo_safe or proof.body_len < MIN_BODY_LEN:
+            continue
+        plan[leader] = (proof.body_len, proof.ue_regs, proof.defs,
+                        proof.has_loads, proof.trap_free)
+    return plan
+
+
+class BlockMemo:
+    """Runtime memo state for one :class:`~repro.fastsim.machine.
+    FastMachine` instance (never shared: recorded templates embed
+    machine-specific dynamic values)."""
+
+    __slots__ = ("plan", "table", "key_cap", "planned", "hits",
+                 "misses", "replayed", "ff_replayed")
+
+    def __init__(self, program: Program,
+                 require_trap_free: bool = False,
+                 effects: EffectsAnalysis | None = None,
+                 key_cap: int = KEY_CAP) -> None:
+        plan = build_plan(program, effects)
+        if require_trap_free:
+            # Speculative replay packing is enabled: only bodies with a
+            # static trap-freedom proof are memoized (ISSUE 9's
+            # conservative contract; traps themselves replay correctly,
+            # the gate just keeps the proof obligations explicit).
+            plan = {lead: p for lead, p in plan.items() if p[4]}
+        #: leader -> [body_len, ue_regs, defs, has_loads, misses, hits]
+        #: — trap_free is consumed here and dropped; the two trailing
+        #: counters drive the adaptive give-up (mutable in place, which
+        #: is why the plan rows are lists).
+        self.plan: dict[int, list] = {
+            lead: [*p[:4], 0, 0] for lead, p in plan.items()}
+        #: leader -> {key -> (templates, delta)} where ``templates`` is
+        #: a tuple of entry lists and ``delta`` a tuple of
+        #: ``(reg, value, tag, from_load)``.
+        self.table: dict[int, dict] = {lead: {} for lead in self.plan}
+        self.key_cap = key_cap
+        #: blocks planned before any adaptive give-up shrank the plan
+        self.planned = len(self.plan)
+        self.hits = 0
+        self.misses = 0
+        #: dynamic instructions served from templates instead of the
+        #: feed, in the cycle loop (CoreStats.fetched is its total)
+        self.replayed = 0
+        #: instructions replayed during functional fast-forward warmup
+        self.ff_replayed = 0
+
+    def stats(self) -> dict:
+        """Counters for metrics/bench surfaces (never for results)."""
+        # Slots hold int sentinels for keys seen once (not yet worth a
+        # template); count only completed recordings.
+        recorded = sum(1 for slot in self.table.values()
+                       for value in slot.values()
+                       if value.__class__ is tuple)
+        return {
+            "blocks_planned": self.planned,
+            "blocks_active": len(self.plan),
+            "keys_recorded": recorded,
+            "hits": self.hits,
+            "misses": self.misses,
+            "replayed_insts": self.replayed,
+            "warmup_replayed": self.ff_replayed,
+        }

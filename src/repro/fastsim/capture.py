@@ -65,18 +65,23 @@ class TraceCapture:
 
         rows = self.rows
         n = len(rows)
+        # One C-level transpose beats nine generator passes over the
+        # row list (the row store is a hot-loop artifact; this runs
+        # once per simulation but over every measured operation).
+        (cls, opc, pc, a, b, tag_a, tag_b, from_load, produces) = (
+            zip(*rows) if rows else ((),) * 9)
 
-        def col(i, dtype):
-            return np.fromiter((r[i] for r in rows), dtype, count=n)
+        def col(values, dtype):
+            return np.fromiter(values, dtype, count=n)
 
         return {
-            "cls": col(0, np.int64),
-            "opc": col(1, np.int64),
-            "pc": col(2, np.int64),
-            "a": col(3, np.uint64),
-            "b": col(4, np.uint64),
-            "tag_a": col(5, np.int8),
-            "tag_b": col(6, np.int8),
-            "from_load": col(7, bool),
-            "produces": col(8, bool),
+            "cls": col(cls, np.int64),
+            "opc": col(opc, np.int64),
+            "pc": col(pc, np.int64),
+            "a": col(a, np.uint64),
+            "b": col(b, np.uint64),
+            "tag_a": col(tag_a, np.int8),
+            "tag_b": col(tag_b, np.int8),
+            "from_load": col(from_load, bool),
+            "produces": col(produces, bool),
         }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["epoch_now", "perf_now"]
+__all__ = ["epoch_now", "mono_now", "perf_now"]
 
 
 def perf_now() -> float:
@@ -27,6 +27,16 @@ def perf_now() -> float:
     span start/end pairs recorded by the same tracer.
     """
     return time.perf_counter()
+
+
+def mono_now() -> float:
+    """Monotonic seconds (``time.monotonic``).
+
+    For deadlines, timeouts, and condition-variable waits — operational
+    control flow that may never influence a simulation result.  Coarser
+    than :func:`perf_now`; use that one for measurements.
+    """
+    return time.monotonic()
 
 
 def epoch_now() -> float:

@@ -34,6 +34,7 @@ import time
 import urllib.parse
 from pathlib import Path
 
+from repro.perf.clock import mono_now
 from repro.service.api import (
     API_SCHEMA,
     NotFound,
@@ -144,13 +145,13 @@ class ServiceClient:
     def wait(self, sweep_id: str, poll: float = 0.5,
              timeout: float | None = None) -> SweepStatus:
         """Poll until the sweep is terminal; returns the final status."""
-        deadline = (time.monotonic() + timeout
+        deadline = (mono_now() + timeout
                     if timeout is not None else None)
         while True:
             status = self.status(sweep_id)
             if status.done:
                 return status
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and mono_now() >= deadline:
                 return status
             time.sleep(poll)
 

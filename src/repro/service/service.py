@@ -38,7 +38,6 @@ from __future__ import annotations
 import itertools
 import json
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 
@@ -48,6 +47,7 @@ from repro.exec.jobs import Job
 from repro.exec.serialize import result_to_dict
 from repro.exec.shards import ShardedResultCache, shard_key
 from repro.obs.export import manifest_records, read_manifest
+from repro.perf.clock import epoch_now, mono_now
 from repro.perf.metrics import get_registry
 from repro.service.api import (
     API_SCHEMA,
@@ -128,7 +128,7 @@ class ExperimentService:
                        if (self.ctx.cache_dir is not None
                            and self.ctx.cache_layout == "cas")
                        else None)
-        self._started_at = time.time()
+        self._started_at = epoch_now()
 
     # ----------------------------------------------------------- lifecycle
 
@@ -278,7 +278,7 @@ class ExperimentService:
         ``timeout`` seconds for new ones); returns ``(records,
         next_cursor, sweep_done)``.  The JSONL streaming endpoint calls
         this repeatedly from an executor thread."""
-        deadline = time.monotonic() + timeout
+        deadline = mono_now() + timeout
         with self._cond:
             sweep = self._sweeps.get(sweep_id)
             if sweep is None:
@@ -288,14 +288,14 @@ class ExperimentService:
                     records = list(sweep.events[cursor:])
                     done = (records[-1].get("record") == "sweep.end")
                     return records, len(sweep.events), done
-                remaining = deadline - time.monotonic()
+                remaining = deadline - mono_now()
                 if remaining <= 0:
                     return [], cursor, False
                 self._cond.wait(remaining)
 
     def wait(self, sweep_id: str, timeout: float | None = None) -> SweepStatus:
         """Block until the sweep is terminal (tests and in-process use)."""
-        deadline = (time.monotonic() + timeout
+        deadline = (mono_now() + timeout
                     if timeout is not None else None)
         with self._cond:
             while True:
@@ -303,7 +303,7 @@ class ExperimentService:
                 if status.done:
                     return status
                 remaining = (None if deadline is None
-                             else deadline - time.monotonic())
+                             else deadline - mono_now())
                 if remaining is not None and remaining <= 0:
                     return status
                 self._cond.wait(remaining if remaining is not None else 1.0)
@@ -321,7 +321,7 @@ class ExperimentService:
                 "workers": self.workers,
                 "sweeps": len(self._sweeps),
                 "done": len(self._done),
-                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "uptime_seconds": round(epoch_now() - self._started_at, 3),
                 "backend": self.ctx.backend,
                 "cache_layout": self.ctx.cache_layout,
             }
@@ -348,7 +348,7 @@ class ExperimentService:
         registry = get_registry()
         ctx = self._run_ctx(entry.backend)
         self._before_execute(entry)
-        t0 = time.monotonic()
+        t0 = mono_now()
         try:
             engine = RunEngine(ctx)
             results, report = engine.run_jobs_report([entry.job])
@@ -360,7 +360,7 @@ class ExperimentService:
         else:
             error = (outcome.error or "job failed"
                      ) if result is None else None
-        wall = time.monotonic() - t0
+        wall = mono_now() - t0
         payload = None
         source = SOURCE_FRESH
         if result is not None:

@@ -39,7 +39,6 @@ def build(scale: int = 1) -> Program:
     #   s0 text cursor      s1 byte counter        s2 table base
     #   s3 rolling hash     s4 matches             s5 code counter
     asm.li("s2", table)
-    asm.clr("s3")
     asm.clr("s4")
     asm.clr("s5")
 

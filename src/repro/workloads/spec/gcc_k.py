@@ -97,6 +97,7 @@ def build(scale: int = 1) -> Program:
     asm.op("and", "a4", "a4", 255)
     asm.op("addq", "a5", "a2", "a3")
     asm.op("addq", "s3", "s3", "a5")
+    asm.op("addq", "s3", "s3", "a4")
 
     # Alternate left/right child by the low accumulator bit, and mix in
     # the walk phase so the visit sequence never settles into a short

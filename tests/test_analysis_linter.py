@@ -81,3 +81,71 @@ def test_registered_workloads_are_lint_clean():
         worst = max_severity(diags)
         assert worst in (None, "info"), (
             f"{workload.name}: {[str(d) for d in diags]}")
+
+
+def test_dead_register_write_flagged():
+    # Seeded dead write: t0 is rewritten on every path before any read.
+    asm = Assembler("t")
+    asm.op("addq", "t0", "t1", 1)       # dead — overwritten below
+    asm.op("addq", "t0", "t1", 2)
+    asm.op("addq", "t2", "t0", 0)
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    l006 = [d for d in diags if d.code == "L006"]
+    assert l006 and l006[0].index == 0
+    assert "t0" in l006[0].message
+
+
+def test_dead_write_not_flagged_when_read_on_one_path():
+    # A read on *any* CFG path keeps the write live — no finding.
+    asm = Assembler("t")
+    asm.op("addq", "t0", "t1", 1)
+    asm.br("beq", "t3", "skip")
+    asm.op("addq", "t2", "t0", 0)       # reads t0 on the taken arm
+    asm.label("skip")
+    asm.op("addq", "t0", "t1", 2)
+    asm.op("addq", "t4", "t0", 0)
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert not [d for d in diags if d.code == "L006" and d.index == 0]
+
+
+def test_stack_pointer_write_exempt_from_dead_write():
+    # standard_prologue's sp setup is ABI convention, not a mistake.
+    from repro.asm.assembler import standard_prologue
+    asm = Assembler("t")
+    standard_prologue(asm)
+    asm.op("addq", "t0", "t1", 1)
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert not [d for d in diags if d.code == "L006" and "sp" in d.message]
+
+
+def test_store_never_loaded_flagged():
+    # Mid-program store to a buffer nothing ever loads from.
+    asm = Assembler("t")
+    buf = asm.alloc("buf", 16)
+    src = asm.alloc("src", 16)
+    asm.li("s0", buf)
+    asm.li("s1", src)
+    asm.store("stq", "t0", "s0", 0)     # never loaded back
+    asm.load("ldq", "t1", "s1", 0)      # loads from elsewhere
+    asm.op("addq", "t2", "t1", 1)
+    asm.br("bne", "t2", "tail")         # store is NOT in the exit block
+    asm.label("tail")
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    l007 = [d for d in diags if d.code == "L007"]
+    assert l007
+    assert "never loaded" in l007[0].message
+
+
+def test_exit_block_result_store_exempt_from_dead_store():
+    # Stores in a HALT-terminated block are result emission.
+    asm = Assembler("t")
+    buf = asm.alloc("buf", 16)
+    asm.li("s0", buf)
+    asm.store("stq", "t0", "s0", 0)
+    asm.halt()
+    diags = lint_program(asm.assemble())
+    assert not [d for d in diags if d.code == "L007"]

@@ -39,7 +39,8 @@ import sys
 from pathlib import Path
 
 #: Packages whose determinism the simulation results depend on.
-DEFAULT_PATHS = ("src/repro/core", "src/repro/exec")
+DEFAULT_PATHS = ("src/repro/core", "src/repro/exec",
+                 "src/repro/fastsim", "src/repro/service")
 
 _RANDOM_MODULE_FUNCS = frozenset({
     "random", "randint", "randrange", "choice", "choices", "shuffle",
