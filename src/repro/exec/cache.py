@@ -144,6 +144,11 @@ class ResultCache:
             text = path.read_text(encoding="utf-8")
         except OSError as err:
             raise CorruptEntry("unreadable entry file", error=str(err))
+        except UnicodeDecodeError as err:
+            # A flipped bit can break UTF-8 itself, upstream of the
+            # JSON parse — still corruption, still quarantined.
+            raise CorruptEntry("entry is not valid UTF-8",
+                               error=str(err))
         try:
             entry = json.loads(text)
         except ValueError as err:
@@ -179,7 +184,13 @@ class ResultCache:
         while dest.exists():
             suffix += 1
             dest = self.quarantine_dir / f"{path.name}.{suffix}"
-        os.replace(path, dest)
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            # Two concurrent readers found the same corrupt entry; the
+            # other one already moved it.  Its quarantine (and reason
+            # file) stand — nothing left for this thread to do.
+            return dest
         reason_record = {
             "entry": path.name,
             "quarantined_as": dest.name,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from pathlib import Path
 from typing import Callable
 
@@ -80,6 +81,9 @@ class ShardedResultCache:
         self.on_quarantine = on_quarantine
         self.width = width
         self._shards: dict[str, ResultCache] = {}
+        #: guards the shard memo: the service's worker threads and its
+        #: admission path open shards concurrently.
+        self._lock = threading.Lock()
         self._verify_or_adopt_marker()
 
     # ---------------------------------------------------------- layout
@@ -116,13 +120,15 @@ class ShardedResultCache:
         return shard_key(job.fingerprint(), self.width)
 
     def shard(self, prefix: str) -> ResultCache:
-        """The (memoized) flat cache backing one shard directory."""
-        cache = self._shards.get(prefix)
-        if cache is None:
-            cache = ResultCache(self.directory / prefix,
-                                on_quarantine=self.on_quarantine)
-            self._shards[prefix] = cache
-        return cache
+        """The (memoized) flat cache backing one shard directory
+        (thread-safe: concurrent readers share one instance)."""
+        with self._lock:
+            cache = self._shards.get(prefix)
+            if cache is None:
+                cache = ResultCache(self.directory / prefix,
+                                    on_quarantine=self.on_quarantine)
+                self._shards[prefix] = cache
+            return cache
 
     def shards(self) -> list[Path]:
         """Every shard directory currently on disk."""

@@ -39,7 +39,6 @@ counters fresh.
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
 
 from repro.core.config import BASELINE, MachineConfig
@@ -48,7 +47,12 @@ from repro.core.machine import Machine
 from repro.obs.events import CommitEvent, Event
 from repro.perf.metrics import get_registry
 from repro.robust.guards import GuardSet
-from repro.robust.inject import BaseInjector, INJECTOR_TYPES, make_injector
+from repro.robust.inject import (
+    BaseInjector,
+    INJECTOR_TYPES,
+    corrupt_file,
+    make_injector,
+)
 from repro.workloads.registry import get_workload, resolve_warmup
 
 #: Verdicts (``SILENT`` and ``FALSE_POSITIVE`` are failures).
@@ -285,19 +289,7 @@ def cache_chaos(cache_dir, mode: str = "bitflip",
         return ChaosOutcome(workload, f"cache-{mode}", seed, UNARMED,
                             detail="no cache entry was stored")
     path = entry_paths[0]
-    raw = bytearray(path.read_bytes())
-    if mode == "truncate":
-        raw = raw[:len(raw) // 2]
-        detail = f"{path.name} truncated to {len(raw)} bytes"
-    elif mode == "bitflip":
-        rng = random.Random(seed)
-        at = rng.randrange(len(raw))
-        bit = 1 << rng.randrange(8)
-        raw[at] ^= bit
-        detail = f"{path.name} bit {bit:#04x} flipped at byte {at}"
-    else:
-        raise ValueError(f"unknown cache chaos mode {mode!r}")
-    path.write_bytes(bytes(raw))
+    detail = corrupt_file(path, mode=mode, seed=seed)
 
     clear_memo()
     engine = RunEngine(ctx)

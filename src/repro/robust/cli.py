@@ -8,6 +8,7 @@ positive.
     repro-chaos --seed 0 --all-injectors              # full matrix
     repro-chaos -w ijpeg -i tag-flip --seed 7         # one trial
     repro-chaos --cache-chaos bitflip --seed 0        # disk tier
+    repro-chaos --service-chaos --seed 0              # service tier
     repro-chaos --list                                # injector catalog
 """
 
@@ -57,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "the shared --cache-dir, or a fresh "
                              "temporary directory; --cache-layout cas "
                              "corrupts inside a CAS shard)")
+    parser.add_argument("--service-chaos", action="store_true",
+                        help="also run the service-tier scenario "
+                             "matrix: worker death mid-sweep, journal "
+                             "torn tail / bit flip, CAS shard "
+                             "corruption under concurrent reads, "
+                             "stalled stream subscribers, malformed "
+                             "and oversized requests")
+    parser.add_argument("--service-scenario", action="append",
+                        default=None, metavar="NAME",
+                        help="run only the named service scenario(s) "
+                             "(implies --service-chaos; see --list)")
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor")
     parser.add_argument("--window", type=int, default=None,
@@ -73,18 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _print_catalog() -> None:
+    from repro.robust.service_chaos import (
+        SCENARIO_EXPECT,
+        SERVICE_SCENARIOS,
+    )
+
     print("injector catalog:")
     for name, cls in INJECTOR_TYPES.items():
         headline = (cls.__doc__ or "").strip().splitlines()[0]
-        print(f"  {name:18s} expect={cls.expect:8s} {headline}")
-    print("  cache-bitflip      expect=detected "
+        print(f"  {name:22s} expect={cls.expect:8s} {headline}")
+    print("  cache-bitflip          expect=detected "
           "XOR one bit of a stored cache entry (via --cache-chaos)")
-    print("  cache-truncate     expect=detected "
+    print("  cache-truncate         expect=detected "
           "cut a stored cache entry in half (via --cache-chaos)")
+    print("service scenario catalog (via --service-chaos):")
+    for name, fn in SERVICE_SCENARIOS.items():
+        headline = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:22s} expect={SCENARIO_EXPECT[name]:8s} "
+              f"{headline}")
 
 
 def _print_outcomes(outcomes: list[ChaosOutcome]) -> None:
-    header = (f"{'workload':16s} {'injector':18s} {'verdict':15s} "
+    header = (f"{'workload':16s} {'injector':22s} {'verdict':15s} "
               f"{'inj':>3s} {'viol':>4s}  detail")
     print(header)
     print("-" * len(header))
@@ -92,7 +114,7 @@ def _print_outcomes(outcomes: list[ChaosOutcome]) -> None:
         detail = o.detail
         if len(detail) > 70:
             detail = detail[:67] + "..."
-        print(f"{o.workload:16s} {o.injector:18s} {o.verdict:15s} "
+        print(f"{o.workload:16s} {o.injector:22s} {o.verdict:15s} "
               f"{o.injections:3d} {o.violations:4d}  {detail}")
 
 
@@ -104,10 +126,11 @@ def main(argv: list[str] | None = None) -> int:
         _print_catalog()
         return 0
 
+    service_chaos_on = bool(args.service_chaos or args.service_scenario)
     injectors = args.injector or []
     if args.all_injectors:
         injectors = ALL_INJECTORS
-    if not injectors and not args.cache_chaos:
+    if not injectors and not args.cache_chaos and not service_chaos_on:
         injectors = ALL_INJECTORS
 
     workloads = args.workload or [w.name for w in all_workloads()]
@@ -139,6 +162,17 @@ def main(argv: list[str] | None = None) -> int:
                 outcomes.append(cache_chaos(
                     Path(tmp), mode=args.cache_chaos, seed=args.seed,
                     ctx=ctx))
+
+    if service_chaos_on:
+        # Imported lazily: the service tier pulls asyncio + the whole
+        # service package, which sim-only chaos runs never need.
+        from repro.robust.service_chaos import service_chaos_suite
+        try:
+            outcomes.extend(service_chaos_suite(
+                seed=args.seed, scenarios=args.service_scenario,
+                progress=progress))
+        except ValueError as err:
+            parser.error(str(err))
 
     _print_outcomes(outcomes)
     counts = summarize(outcomes)

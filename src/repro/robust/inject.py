@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bitwidth.detect import is_narrow
 from repro.bitwidth.tags import UNKNOWN_TAG, WidthTag
@@ -237,6 +238,38 @@ class ReplayDropInjector(BaseInjector):
                 self._record(dyn.seq, dyn.index,
                              f"trap dropped, packed lane committed "
                              f"{packed:#x} (true {reference:#x})")
+
+
+# ------------------------------------------------------- disk-tier faults
+
+
+def corrupt_file(path: str | Path, mode: str = "bitflip",
+                 seed: int = 0) -> str:
+    """Deterministically damage one on-disk file — the disk-tier fault
+    model shared by the cache and service chaos scenarios.
+
+    ``"bitflip"`` XORs one seed-chosen bit; ``"truncate"`` cuts the
+    file in half (a torn write).  Returns a human-readable detail
+    string for the chaos report.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if mode == "truncate":
+        raw = raw[:len(raw) // 2]
+        detail = f"{path.name} truncated to {len(raw)} bytes"
+    elif mode == "bitflip":
+        if not raw:
+            raise ValueError(f"cannot bit-flip empty file {path}")
+        rng = random.Random(seed)
+        at = rng.randrange(len(raw))
+        bit = 1 << rng.randrange(8)
+        raw[at] ^= bit
+        detail = f"{path.name} bit {bit:#04x} flipped at byte {at}"
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r} "
+                         f"(known: bitflip, truncate)")
+    path.write_bytes(bytes(raw))
+    return detail
 
 
 #: The injector catalog, in presentation order.

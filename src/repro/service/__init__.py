@@ -7,7 +7,11 @@ The package splits into transport-free core and a thin HTTP skin:
   by the HTTP layer, the ``repro-serve`` CLI, and the blocking client;
 * :mod:`repro.service.service` — :class:`ExperimentService`, the
   thread-based core: admission queue with backpressure, request
-  coalescing, the sharded content-addressed store, progress events;
+  coalescing, the sharded content-addressed store, per-job fault
+  isolation with a circuit breaker, deadline propagation, graceful
+  drain, progress events;
+* :mod:`repro.service.journal` — the durable sweep journal (fsync'd
+  WAL) behind crash-safe restart-resume;
 * :mod:`repro.service.http` — the asyncio HTTP/1.1 front end;
 * :mod:`repro.service.server` — the ``repro-serve`` entry point;
 * :mod:`repro.service.client` — blocking :class:`ServiceClient` and
@@ -20,14 +24,17 @@ from repro.service.api import (
     JobSpec,
     JobStatus,
     NotFound,
+    PayloadTooLarge,
     RequestInvalid,
     ServiceError,
+    ServiceUnavailable,
     SubmitRequest,
     SubmitResponse,
     SweepStatus,
 )
 from repro.service.client import ServiceClient
 from repro.service.http import HttpFrontend
+from repro.service.journal import JournalReplay, SweepJournal, read_journal
 from repro.service.service import ExperimentService, canonical_result_bytes
 
 __all__ = [
@@ -37,12 +44,17 @@ __all__ = [
     "HttpFrontend",
     "JobSpec",
     "JobStatus",
+    "JournalReplay",
     "NotFound",
+    "PayloadTooLarge",
     "RequestInvalid",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
     "SubmitRequest",
     "SubmitResponse",
     "SweepStatus",
+    "SweepJournal",
     "canonical_result_bytes",
+    "read_journal",
 ]

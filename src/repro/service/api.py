@@ -54,6 +54,22 @@ SOURCE_STORE = "store"          # served from the shared CAS / memo
 #: split client-side; protects the admission path from one giant POST).
 MAX_JOBS_PER_SWEEP = 1024
 
+#: Hard ceiling on a client-supplied sweep deadline (one day: anything
+#: longer is indistinguishable from "no deadline" for this service).
+MAX_DEADLINE_SECONDS = 86_400.0
+
+#: Stable per-job error codes (the ``error_code`` field of a failed
+#: :class:`JobStatus`).  These classify *why* a job failed so clients
+#: can branch without parsing prose:
+ERR_JOB_FAILED = "job-failed"            # the simulation itself failed
+ERR_WORKER_CRASH = "worker-crash"        # infra crash in the runner
+ERR_DEADLINE = "deadline-exceeded"       # budget spent before the run
+ERR_SHUTDOWN = "service-shutdown"        # hard stop before the run
+ERR_INVALID_ON_RESTART = "invalid-on-restart"  # journal replayed a spec
+                                               # this build can't resolve
+JOB_ERROR_CODES = (ERR_JOB_FAILED, ERR_WORKER_CRASH, ERR_DEADLINE,
+                   ERR_SHUTDOWN, ERR_INVALID_ON_RESTART)
+
 
 # ----------------------------------------------------------- typed errors
 
@@ -83,6 +99,39 @@ class NotFound(ServiceError):
     http_status = 404
 
 
+class PayloadTooLarge(RequestInvalid):
+    """The request body exceeds the service's byte cap.
+
+    A :class:`RequestInvalid` subclass (``isinstance`` checks written
+    against the 400 family keep working) with its own stable code and
+    the HTTP-correct 413 status, so an oversized POST gets a typed
+    JSON body instead of an abruptly closed connection.
+    """
+
+    code = "payload-too-large"
+    http_status = 413
+
+
+class ServiceUnavailable(ServiceError):
+    """The service cannot take work right now: the typed 503.
+
+    Raised while the circuit breaker is open (too many consecutive
+    worker-thread crashes) and during graceful drain.  ``reason`` is a
+    stable machine token (``"breaker-open"`` / ``"draining"``) and
+    ``retry_after`` the seconds a client should wait before retrying.
+    """
+
+    code = "unavailable"
+    http_status = 503
+
+    def __init__(self, message: str, *, reason: str = "unavailable",
+                 retry_after: float = 1.0, **details) -> None:
+        super().__init__(message, reason=reason,
+                         retry_after=retry_after, **details)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 class Backpressure(ServiceError):
     """The admission queue is full: the typed 429-equivalent.
 
@@ -107,7 +156,8 @@ class Backpressure(ServiceError):
 #: code -> class, for client-side rehydration.
 _ERROR_TYPES: dict[str, type[ServiceError]] = {
     cls.code: cls
-    for cls in (ServiceError, RequestInvalid, NotFound, Backpressure)
+    for cls in (ServiceError, RequestInvalid, NotFound, Backpressure,
+                PayloadTooLarge, ServiceUnavailable)
 }
 
 
@@ -129,6 +179,14 @@ def error_from_dict(data: dict) -> ServiceError:
             queue_depth=int(details.get("queue_depth", 0)),
             queue_limit=int(details.get("queue_limit", 0)),
             retry_after=float(details.get("retry_after", 1.0)))
+    if cls is ServiceUnavailable:
+        extra = {k: v for k, v in details.items()
+                 if k not in ("reason", "retry_after")}
+        return ServiceUnavailable(
+            message,
+            reason=str(details.get("reason", "unavailable")),
+            retry_after=float(details.get("retry_after", 1.0)),
+            **extra)
     err = cls(message, **details)
     return err
 
@@ -202,15 +260,26 @@ def resolve_config(name: str) -> MachineConfig:
 
 @dataclass(frozen=True)
 class SubmitRequest:
-    """A sweep submission: a batch of job specs plus execution hints."""
+    """A sweep submission: a batch of job specs plus execution hints.
+
+    ``deadline_seconds`` is the client's total budget for the sweep:
+    the service arms a monotonic deadline at admission and decrements
+    the remaining budget into each job's engine timeout at dispatch; a
+    job whose budget is spent before it starts fails typed with
+    :data:`ERR_DEADLINE` instead of running anyway.
+    """
 
     jobs: tuple[JobSpec, ...]
     backend: str = "reference"
+    deadline_seconds: float | None = None
     schema: str = API_SCHEMA
 
     def to_dict(self) -> dict:
-        return {"schema": self.schema, "backend": self.backend,
-                "jobs": [spec.to_dict() for spec in self.jobs]}
+        doc = {"schema": self.schema, "backend": self.backend,
+               "jobs": [spec.to_dict() for spec in self.jobs]}
+        if self.deadline_seconds is not None:
+            doc["deadline_seconds"] = self.deadline_seconds
+        return doc
 
     @classmethod
     def from_dict(cls, data: object) -> "SubmitRequest":
@@ -223,6 +292,14 @@ class SubmitRequest:
         _require(backend in SUBMIT_BACKENDS,
                  f"backend must be one of {SUBMIT_BACKENDS}, "
                  f"got {backend!r}")
+        deadline = data.get("deadline_seconds")
+        if deadline is not None:
+            _require(isinstance(deadline, (int, float))
+                     and not isinstance(deadline, bool)
+                     and 0 < deadline <= MAX_DEADLINE_SECONDS,
+                     f"deadline_seconds must be in (0, "
+                     f"{MAX_DEADLINE_SECONDS:.0f}], got {deadline!r}")
+            deadline = float(deadline)
         raw_jobs = data.get("jobs")
         _require(isinstance(raw_jobs, list) and len(raw_jobs) >= 1,
                  "submission needs a non-empty jobs list")
@@ -231,7 +308,8 @@ class SubmitRequest:
                  f"({len(raw_jobs)} submitted); split it client-side",
                  submitted=len(raw_jobs), limit=MAX_JOBS_PER_SWEEP)
         return cls(jobs=tuple(JobSpec.from_dict(j) for j in raw_jobs),
-                   backend=backend, schema=API_SCHEMA)
+                   backend=backend, deadline_seconds=deadline,
+                   schema=API_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -243,11 +321,13 @@ class JobStatus:
     state: str = QUEUED
     source: str | None = None       # fresh | coalesced | store (terminal)
     error: str | None = None        # set when state == failed
+    error_code: str | None = None   # stable code from JOB_ERROR_CODES
 
     def to_dict(self) -> dict:
         return {"spec": self.spec.to_dict(),
                 "fingerprint": self.fingerprint, "state": self.state,
-                "source": self.source, "error": self.error}
+                "source": self.source, "error": self.error,
+                "error_code": self.error_code}
 
     @classmethod
     def from_dict(cls, data: object) -> "JobStatus":
@@ -259,7 +339,8 @@ class JobStatus:
                  "job status needs a fingerprint")
         return cls(spec=JobSpec.from_dict(data.get("spec")),
                    fingerprint=fingerprint, state=state,
-                   source=data.get("source"), error=data.get("error"))
+                   source=data.get("source"), error=data.get("error"),
+                   error_code=data.get("error_code"))
 
     @property
     def terminal(self) -> bool:

@@ -158,6 +158,22 @@ class ServiceClient:
     def health(self) -> dict:
         return self._request("GET", "/v1/healthz")
 
+    def live(self) -> dict:
+        return self._request("GET", "/v1/livez")
+
+    def ready(self) -> tuple[bool, dict]:
+        """(is_ready, readiness document).  A 503 here is a *state*,
+        not an error — the body still carries queue depth, journal
+        lag, and the reason — so it never raises on not-ready."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/v1/readyz")
+            response = conn.getresponse()
+            document = self._decode(response.read())
+            return response.status == 200, document
+        finally:
+            conn.close()
+
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 
@@ -301,7 +317,8 @@ def _print_statuses(status: SweepStatus, out) -> None:
                 f"x{spec.scale:<3d} {job.state:8s} "
                 f"{job.source or '-':10s} {job.fingerprint}")
         if job.error:
-            line += f"  [{job.error}]"
+            code = f"{job.error_code}: " if job.error_code else ""
+            line += f"  [{code}{job.error}]"
         print(line, file=out)
 
 
@@ -370,11 +387,30 @@ def _cmd_health(args) -> int:
     last: Exception | None = None
     for _attempt in range(args.retries + 1):
         try:
-            print(json.dumps(client.health(), sort_keys=True))
-            return 0
+            health = client.health()
         except (ServiceError, OSError) as err:
             last = err
             time.sleep(0.4)
+            continue
+        print(json.dumps(health, sort_keys=True))
+        # Liveness and readiness are separate answers: a draining
+        # service is live but not ready, and operators need both.
+        try:
+            live = bool(client.live().get("live"))
+            ready, doc = client.ready()
+        except (ServiceError, OSError) as err:
+            print(f"liveness/readiness probe failed: {err}",
+                  file=sys.stderr)
+            return 0
+        journal = doc.get("journal") or {}
+        lag = journal.get("lag") if journal.get("enabled") else "n/a"
+        print(f"live: {str(live).lower()}", file=sys.stderr)
+        print(f"ready: {str(ready).lower()} "
+              f"({doc.get('reason', '?')}; queue "
+              f"{doc.get('queue_depth', '?')}/"
+              f"{doc.get('queue_limit', '?')}, journal lag {lag})",
+              file=sys.stderr)
+        return 0
     print(f"service unreachable at {args.url}: {last}", file=sys.stderr)
     return 1
 

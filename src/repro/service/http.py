@@ -17,8 +17,18 @@ Routes (all JSON, all shapes defined in :mod:`repro.service.api`):
   the ``sweep.end`` record);
 * ``GET  /v1/results/<fingerprint>`` — the canonical result bytes from
   the shared store (byte-identical to the CLI path);
-* ``GET  /v1/healthz``               — queue depth & service vitals;
+* ``GET  /v1/healthz``               — queue depth & service vitals
+  (includes ``live``/``ready`` plus breaker and journal state);
+* ``GET  /v1/livez``                 — liveness only (200 while the
+  process can answer, even during drain);
+* ``GET  /v1/readyz``                — readiness: 200 when taking
+  traffic, 503 (with queue depth and journal lag in the body) while
+  draining or while the circuit breaker is open;
 * ``GET  /v1/metrics``               — the process metrics snapshot.
+
+A request body over :data:`MAX_BODY_BYTES` gets the typed 413
+:class:`~repro.service.api.PayloadTooLarge` JSON body — never an
+abruptly closed connection.
 
 Every failure a handler can produce is a typed
 :class:`~repro.service.api.ServiceError` rendered by one code path, so
@@ -30,11 +40,12 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 
 from repro.perf.metrics import get_registry
 from repro.service.api import (
-    Backpressure,
     NotFound,
+    PayloadTooLarge,
     RequestInvalid,
     ServiceError,
     SubmitRequest,
@@ -49,7 +60,22 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: streaming loop re-checks the connection.
 STREAM_POLL_SECONDS = 5.0
 
+#: How long a progress-stream write may sit in a stalled client's
+#: socket before the connection is evicted (one tenant's dead reader
+#: must not pin a coroutine forever).
+STREAM_WRITE_TIMEOUT = 30.0
+
 logger = logging.getLogger(__name__)
+
+
+def retry_after_header(seconds: float) -> str:
+    """Render a retry-after estimate as the ``Retry-After`` header.
+
+    Ceiling, clamped to >= 1: the header must never promise a retry
+    *sooner* than the estimate (0 or 0.4 seconds both render as "1",
+    1.2 as "2"), and RFC 7231 only allows whole seconds.
+    """
+    return str(max(1, math.ceil(seconds)))
 
 
 def _response_bytes(status: int, body: bytes, content_type: str,
@@ -57,7 +83,8 @@ def _response_bytes(status: int, body: bytes, content_type: str,
     reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
               405: "Method Not Allowed", 413: "Payload Too Large",
               429: "Too Many Requests",
-              500: "Internal Server Error"}.get(status, "OK")
+              500: "Internal Server Error",
+              503: "Service Unavailable"}.get(status, "OK")
     headers = [f"HTTP/1.1 {status} {reason}",
                f"Content-Type: {content_type}",
                f"Content-Length: {len(body)}",
@@ -76,10 +103,11 @@ def _json_response(status: int, document: dict,
 
 def _error_response(err: ServiceError) -> bytes:
     extra = None
-    if isinstance(err, Backpressure):
-        # The standard header alongside the typed JSON body, so plain
-        # HTTP clients back off correctly too.
-        extra = {"Retry-After": str(max(1, round(err.retry_after)))}
+    retry_after = getattr(err, "retry_after", None)
+    if retry_after is not None:
+        # The standard header alongside the typed JSON body (429 and
+        # 503 both carry it), so plain HTTP clients back off correctly.
+        extra = {"Retry-After": retry_after_header(retry_after)}
     return _json_response(err.http_status, error_to_dict(err), extra)
 
 
@@ -156,11 +184,19 @@ class HttpFrontend:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
         body = b""
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
             writer.write(_error_response(RequestInvalid(
+                "content-length is not an integer")))
+            return
+        if length > MAX_BODY_BYTES:
+            # Typed 413 with the limit in the body — the client sees a
+            # JSON error it can rehydrate, not a dropped connection.
+            writer.write(_error_response(PayloadTooLarge(
                 f"body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit")))
+                f"{MAX_BODY_BYTES}-byte limit; split the sweep",
+                length=length, limit=MAX_BODY_BYTES)))
             return
         if length:
             body = await reader.readexactly(length)
@@ -216,6 +252,16 @@ class HttpFrontend:
             writer.write(_json_response(200, self.service.health()))
             return
 
+        if method == "GET" and segments == ["v1", "livez"]:
+            writer.write(_json_response(200, self.service.liveness()))
+            return
+
+        if method == "GET" and segments == ["v1", "readyz"]:
+            document = self.service.readiness()
+            writer.write(_json_response(
+                200 if document["ready"] else 503, document))
+            return
+
         if method == "GET" and segments == ["v1", "metrics"]:
             writer.write(_json_response(200, get_registry().snapshot()))
             return
@@ -238,7 +284,15 @@ class HttpFrontend:
             for record in records:
                 writer.write((json.dumps(record, sort_keys=True)
                               + "\n").encode("utf-8"))
-            await writer.drain()
+            try:
+                # A stalled client (never reads, socket buffer full)
+                # must not pin this coroutine forever: bound the flush
+                # and evict the connection on timeout.
+                await asyncio.wait_for(writer.drain(),
+                                       STREAM_WRITE_TIMEOUT)
+            except asyncio.TimeoutError:
+                get_registry().counter("service.stream.stalled").inc()
+                return
             if done:
                 return
             records, cursor, done = await loop.run_in_executor(

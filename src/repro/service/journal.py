@@ -1,0 +1,273 @@
+"""Durable sweep journal: the service's crash-safety write-ahead log.
+
+:class:`SweepJournal` is an append-only, fsync'd, schema-versioned
+JSONL file recording every state transition the service would need to
+reconstruct after ``kill -9``: sweep admission (with the full resolved
+job specs), per-job dispatch, terminal outcomes, parked work (drain),
+and sweep completion.  On startup the service replays the journal
+(:func:`read_journal`), reconciles the replayed state against the
+sharded CAS — a fingerprint whose result already landed is served from
+the store, never re-simulated — and re-enqueues only the genuinely
+lost jobs.
+
+Integrity is per record, not per file: every line embeds a sha256
+``digest`` over its own canonical JSON (the same construction the
+result cache uses for entries), so a flipped bit *inside* a record is
+detected and the record skipped, instead of being replayed as
+plausible-but-wrong state.  A half-written final line — the expected
+artifact of a crash mid-``write`` — is a **torn tail**: counted,
+reported, and ignored, because the write protocol (append + flush +
+fsync per record) guarantees everything before it is intact.
+
+The journal is compacted on startup (:meth:`SweepJournal.compact`):
+after replay, only still-live sweeps (and the terminal outcomes of
+their already-finished jobs) are rewritten — atomically, via
+write-to-temp + ``os.replace`` — so the file stays bounded by the
+amount of in-flight work, not by service uptime.  Terminal sweeps are
+dropped: their results remain addressable by fingerprint in the CAS,
+and their ``sweep.end`` was already streamed to every subscriber.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.perf.clock import epoch_now
+
+#: Journal schema (bump on breaking record-layout changes; replay
+#: refuses records stamped with a different major schema).
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: File name of the journal inside its directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Record types a journal line may carry.
+REC_START = "service.start"
+REC_ADMITTED = "sweep.admitted"
+REC_DISPATCHED = "job.dispatched"
+REC_DONE = "job.done"
+REC_FAILED = "job.failed"
+REC_PARKED = "job.parked"
+REC_SWEEP_END = "sweep.end"
+REC_DRAIN = "service.drain"
+
+RECORD_TYPES = (REC_START, REC_ADMITTED, REC_DISPATCHED, REC_DONE,
+                REC_FAILED, REC_PARKED, REC_SWEEP_END, REC_DRAIN)
+
+_SWEEP_NUMBER_RE = re.compile(r"^sweep-(\d+)$")
+
+
+def record_digest(record: dict) -> str:
+    """sha256 over the canonical JSON of a record, minus the digest
+    field itself (identical construction to the cache entry digest)."""
+    body = {k: v for k, v in record.items() if k != "digest"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ReplayedSweep:
+    """One admitted sweep reconstructed from the journal."""
+
+    sweep_id: str
+    backend: str = "reference"
+    deadline_seconds: float | None = None
+    #: ordered (spec dict, fingerprint) pairs, duplicates preserved —
+    #: exactly what the submission carried.
+    jobs: list[dict] = field(default_factory=list)
+    #: fingerprint -> admission-time source view (fresh/coalesced/store).
+    sources: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class JournalReplay:
+    """Everything :func:`read_journal` could recover from one file."""
+
+    #: sweep_id -> sweep, in admission order (dicts preserve order).
+    sweeps: dict[str, ReplayedSweep] = field(default_factory=dict)
+    #: fingerprint -> last journaled job state: one of
+    #: ``running | done | failed | parked`` plus its detail fields.
+    job_states: dict[str, dict] = field(default_factory=dict)
+    #: records successfully replayed.
+    records: int = 0
+    #: mid-file records rejected by digest/parse (corruption, counted
+    #: and skipped — never replayed as state).
+    bad_records: int = 0
+    #: the final line was half-written (the normal kill -9 artifact).
+    torn_tail: bool = False
+    #: highest numeric sweep id seen (the reborn service numbers past it).
+    max_sweep_number: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.bad_records == 0
+
+
+def _apply(replay: JournalReplay, record: dict) -> None:
+    kind = record.get("record")
+    if kind == REC_ADMITTED:
+        sweep_id = record["sweep_id"]
+        replay.sweeps[sweep_id] = ReplayedSweep(
+            sweep_id=sweep_id,
+            backend=record.get("backend", "reference"),
+            deadline_seconds=record.get("deadline_seconds"),
+            jobs=list(record.get("jobs", ())),
+            sources=dict(record.get("sources", {})))
+        match = _SWEEP_NUMBER_RE.match(sweep_id)
+        if match:
+            replay.max_sweep_number = max(replay.max_sweep_number,
+                                          int(match.group(1)))
+    elif kind == REC_DISPATCHED:
+        replay.job_states[record["fingerprint"]] = {"state": "running"}
+    elif kind == REC_DONE:
+        replay.job_states[record["fingerprint"]] = {
+            "state": "done", "source": record.get("source")}
+    elif kind == REC_FAILED:
+        replay.job_states[record["fingerprint"]] = {
+            "state": "failed", "error": record.get("error"),
+            "error_code": record.get("error_code")}
+    elif kind == REC_PARKED:
+        replay.job_states[record["fingerprint"]] = {"state": "parked"}
+    # REC_START / REC_SWEEP_END / REC_DRAIN carry no replayable state:
+    # sweep terminality is recomputed from job states + the CAS.
+
+
+def read_journal(path: str | Path) -> JournalReplay:
+    """Replay one journal file into a :class:`JournalReplay`.
+
+    Never raises on damage: a half-written final line is a torn tail
+    (ignored, flagged); any other unparseable or digest-mismatched
+    line is counted in ``bad_records`` and skipped.  A missing file
+    replays as empty.
+    """
+    path = Path(path)
+    replay = JournalReplay()
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return replay
+    lines = raw.split(b"\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else there is a torn tail.
+    if lines and lines[-1] == b"":
+        lines.pop()
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        record = _verify_line(line)
+        if record is None:
+            if index == last:
+                replay.torn_tail = True
+            else:
+                replay.bad_records += 1
+            continue
+        replay.records += 1
+        _apply(replay, record)
+    return replay
+
+
+def _verify_line(line: bytes) -> dict | None:
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if record.get("schema") != JOURNAL_SCHEMA:
+        return None
+    if record.get("digest") != record_digest(record):
+        return None
+    return record
+
+
+class SweepJournal:
+    """Append-only fsync'd writer over one journal file.
+
+    ``sync=False`` drops the per-record fsync (tests that only care
+    about record shape); the service always runs with ``sync=True`` —
+    a record the caller saw :meth:`append` return is on disk.
+    """
+
+    def __init__(self, path: str | Path, sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.records_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+
+    def append(self, record_type: str, **fields) -> dict:
+        """Write one record (schema + timestamp + digest added here);
+        returns the full record after it is durably on disk."""
+        if record_type not in RECORD_TYPES:
+            raise ValueError(f"unknown journal record type "
+                             f"{record_type!r}")
+        record = {"schema": JOURNAL_SCHEMA, "record": record_type,
+                  "ts": round(epoch_now(), 6), **fields}
+        record["digest"] = record_digest(record)
+        line = (json.dumps(record, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
+        self._fh.write(line)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self.records_written += 1
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    # ------------------------------------------------------------ compact
+
+    @classmethod
+    def compact(cls, path: str | Path, replay: JournalReplay,
+                live_sweep_ids: list[str], sync: bool = True,
+                ) -> "SweepJournal":
+        """Rewrite the journal to only the still-live sweeps, then open
+        it for appending.
+
+        The rewrite is atomic (temp file + ``os.replace``): a crash
+        mid-compaction leaves the old journal intact.  For each live
+        sweep the admission record is re-written, followed by the
+        terminal records of its already-finished jobs, so a *second*
+        replay reconstructs exactly the state the first one did.
+        """
+        path = Path(path)
+        tmp_path = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp = cls(tmp_path, sync=sync)
+        try:
+            written: set[str] = set()
+            for sweep_id in live_sweep_ids:
+                sweep = replay.sweeps.get(sweep_id)
+                if sweep is None:
+                    continue
+                tmp.append(REC_ADMITTED, sweep_id=sweep.sweep_id,
+                           backend=sweep.backend,
+                           deadline_seconds=sweep.deadline_seconds,
+                           jobs=sweep.jobs, sources=sweep.sources)
+                for job in sweep.jobs:
+                    fingerprint = job.get("fingerprint")
+                    if fingerprint in written:
+                        continue
+                    state = replay.job_states.get(fingerprint)
+                    if state is None:
+                        continue
+                    written.add(fingerprint)
+                    if state["state"] == "done":
+                        tmp.append(REC_DONE, fingerprint=fingerprint,
+                                   source=state.get("source"))
+                    elif state["state"] == "failed":
+                        tmp.append(REC_FAILED, fingerprint=fingerprint,
+                                   error=state.get("error"),
+                                   error_code=state.get("error_code"))
+            tmp.close()
+            os.replace(tmp_path, path)
+        except BaseException:
+            tmp.close()
+            tmp_path.unlink(missing_ok=True)
+            raise
+        return cls(path, sync=sync)

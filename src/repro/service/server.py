@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 
 from repro.exec.cli import (
@@ -62,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "every fresh simulation into DIR and "
                              "stream its records to progress "
                              "subscribers")
+    parser.add_argument("--journal-dir", default="service-journal",
+                        metavar="DIR",
+                        help="durable sweep journal directory: admitted "
+                             "work is WAL'd here and resumed after a "
+                             "crash or restart (default "
+                             "service-journal)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="disable the sweep journal: in-flight "
+                             "sweeps are lost on restart")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        metavar="N",
+                        help="consecutive worker crashes that trip the "
+                             "circuit breaker (typed 503 until the "
+                             "cooldown lapses; default 5)")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="circuit breaker cooldown (default 30)")
     add_engine_arguments(parser)
     parser.set_defaults(cache_dir="service-cas", cache_layout="cas")
     return parser
@@ -77,11 +95,34 @@ async def _serve(args: argparse.Namespace,
           f"[{service.ctx.cache_layout}], backend "
           f"{service.ctx.backend})", file=sys.stderr, flush=True)
     print(url, flush=True)
+    loop = asyncio.get_running_loop()
+    drain_requested = asyncio.Event()
     try:
-        await frontend.serve_forever()
+        # SIGTERM = graceful drain: flip readiness false, park queued
+        # work in the journal, finish in-flight jobs, exit clean.
+        loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
+    except (NotImplementedError, RuntimeError):
+        pass                            # non-unix / nested loop
+    serve_task = asyncio.ensure_future(frontend.serve_forever())
+    drain_task = asyncio.ensure_future(drain_requested.wait())
+    try:
+        await asyncio.wait({serve_task, drain_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if drain_requested.is_set():
+            print("SIGTERM: draining (readiness false, parking queued "
+                  "work, finishing in-flight jobs)", file=sys.stderr,
+                  flush=True)
+            summary = await loop.run_in_executor(None, service.drain)
+            print(f"drained: {summary['parked']} parked, "
+                  f"{summary['done']} terminal", file=sys.stderr,
+                  flush=True)
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serve_task, drain_task):
+            task.cancel()
+        await asyncio.gather(serve_task, drain_task,
+                             return_exceptions=True)
         await frontend.close()
     return 0
 
@@ -101,9 +142,16 @@ def main(argv: list[str] | None = None) -> int:
         print("note: --no-cache disables the shared store; every "
               "sweep will simulate fresh", file=sys.stderr)
         args.cache_dir = None
+    if args.breaker_threshold < 1:
+        parser.error("--breaker-threshold must be >= 1")
     ctx = context_from_args(args, obs_dir=args.obs_out)
+    journal_dir = None if args.no_journal else args.journal_dir
     service = ExperimentService(ctx, queue_limit=args.queue_limit,
-                                workers=args.workers).start()
+                                workers=args.workers,
+                                journal_dir=journal_dir,
+                                breaker_threshold=args.breaker_threshold,
+                                breaker_cooldown=args.breaker_cooldown,
+                                ).start()
     try:
         return asyncio.run(_serve(args, service))
     except KeyboardInterrupt:

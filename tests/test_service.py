@@ -22,6 +22,7 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
@@ -31,9 +32,12 @@ from repro.perf.metrics import get_registry
 from repro.service.api import (
     API_SCHEMA,
     Backpressure,
+    ERR_DEADLINE,
+    ERR_WORKER_CRASH,
     JobSpec,
     NotFound,
     RequestInvalid,
+    ServiceUnavailable,
     SubmitRequest,
 )
 from repro.service.client import ServiceClient
@@ -343,5 +347,247 @@ class TestHttpEndToEnd:
                 conn.close()
         finally:
             service.release.set()
+            server.stop()
+            service.shutdown()
+
+
+# -------------------------------------------------- faults and lifecycle
+
+class CrashingService(ExperimentService):
+    """Service whose workers crash on the first ``crashes`` executions."""
+
+    def __init__(self, *args, crashes=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._crashes_left = crashes
+
+    def _before_execute(self, entry):
+        if self._crashes_left > 0:
+            self._crashes_left -= 1
+            raise RuntimeError("injected worker crash")
+
+
+class TestFaultIsolation:
+    def test_one_crash_fails_typed_and_the_sweep_continues(self, tmp_path):
+        clear_memo()
+        ctx = RunContext(cache_dir=tmp_path / "cas", cache_layout="cas")
+        service = CrashingService(ctx, workers=1, crashes=1,
+                                  breaker_threshold=100).start()
+        try:
+            crashes_before = _counter("service.worker.crashes")
+            status = service.submit(SubmitRequest(jobs=(
+                JobSpec(workload="go"), JobSpec(workload="xlisp"))))
+            final = service.wait(status.sweep_id, timeout=240)
+
+            # Partial results: the crashed job is a typed per-job
+            # failure, the other one landed — fault isolation, not a
+            # failed sweep call.
+            assert final.done and not final.ok
+            failed, landed = final.statuses
+            assert failed.state == "failed"
+            assert failed.error_code == ERR_WORKER_CRASH
+            assert "worker thread crashed" in failed.error
+            assert landed.state == "done"
+            assert service.result_bytes(landed.fingerprint)
+            assert _counter("service.worker.crashes") - crashes_before == 1
+
+            # The failed fingerprint does not pin: a resubmission
+            # retries it fresh (the worker is out of crashes) and wins.
+            retried_before = _counter("service.retried")
+            retry = service.wait(service.submit(GO).sweep_id, timeout=240)
+            assert retry.ok
+            assert _counter("service.retried") - retried_before == 1
+        finally:
+            service.shutdown()
+
+
+class TestCircuitBreaker:
+    def test_consecutive_crashes_trip_typed_503(self):
+        service = CrashingService(RunContext(), workers=1, crashes=100,
+                                  breaker_threshold=2,
+                                  breaker_cooldown=60.0).start()
+        try:
+            for _ in range(2):
+                final = service.wait(service.submit(GO).sweep_id,
+                                     timeout=240)
+                assert final.statuses[0].error_code == ERR_WORKER_CRASH
+
+            with pytest.raises(ServiceUnavailable) as exc:
+                service.submit(GO)
+            err = exc.value
+            assert err.http_status == 503
+            assert err.reason == "breaker-open"
+            assert err.retry_after > 0
+            assert err.details["consecutive_crashes"] == 2
+
+            health = service.health()
+            assert health["breaker"]["open"] is True
+            assert health["ready"] is False
+            assert health["ready_reason"] == "breaker-open"
+        finally:
+            service.shutdown()
+
+    def test_half_open_success_fully_closes(self, tmp_path):
+        clear_memo()
+        ctx = RunContext(cache_dir=tmp_path / "cas", cache_layout="cas")
+        service = CrashingService(ctx, workers=1, crashes=2,
+                                  breaker_threshold=2,
+                                  breaker_cooldown=0.05).start()
+        try:
+            for _ in range(2):
+                service.wait(service.submit(GO).sweep_id, timeout=240)
+            time.sleep(0.1)     # cooldown lapses: breaker half-opens
+
+            # The probe submission is admitted, the worker is out of
+            # crashes, and one success closes the breaker completely.
+            final = service.wait(service.submit(GO).sweep_id, timeout=240)
+            assert final.ok
+            breaker = service.health()["breaker"]
+            assert breaker["open"] is False
+            assert breaker["consecutive_crashes"] == 0
+        finally:
+            service.shutdown()
+
+
+class TestDeadline:
+    def test_spent_budget_fails_typed_without_running(self):
+        clear_memo()
+        service = HoldingService(RunContext(), workers=1).start()
+        try:
+            first = service.submit(GO)
+            assert service.executing.wait(timeout=60)
+            # The held job eats the second sweep's entire budget while
+            # it sits in the queue.
+            expired_before = _counter("service.deadline.expired")
+            fresh_before = GLOBAL_STATS.fresh_runs
+            second = service.submit(SubmitRequest(
+                jobs=(JobSpec(workload="compress"),),
+                deadline_seconds=0.05))
+            time.sleep(0.2)
+            service.release.set()
+
+            final = service.wait(second.sweep_id, timeout=240)
+            assert final.done and not final.ok
+            status = final.statuses[0]
+            assert status.state == "failed"
+            assert status.error_code == ERR_DEADLINE
+            assert _counter("service.deadline.expired") - expired_before == 1
+            # The expired job never reached the engine: only the held
+            # first job simulated.
+            service.wait(first.sweep_id, timeout=240)
+            assert GLOBAL_STATS.fresh_runs - fresh_before == 1
+        finally:
+            service.release.set()
+            service.shutdown()
+
+
+class TestDrain:
+    def test_graceful_drain_parks_queued_and_finishes_inflight(
+            self, tmp_path):
+        clear_memo()
+        ctx = RunContext(cache_dir=tmp_path / "cas", cache_layout="cas")
+        journal_dir = tmp_path / "journal"
+        service = HoldingService(ctx, workers=1,
+                                 journal_dir=journal_dir).start()
+        try:
+            first = service.submit(GO)
+            assert service.executing.wait(timeout=60)
+            second = service.submit(SubmitRequest(
+                jobs=(JobSpec(workload="compress"),)))
+
+            summary = {}
+            drainer = threading.Thread(
+                target=lambda: summary.update(service.drain()),
+                daemon=True)
+            drainer.start()
+            deadline = time.monotonic() + 30
+            while service.health()["status"] != "draining":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            # Draining: readiness false, new work refused typed, the
+            # in-flight job still finishing.
+            readiness = service.readiness()
+            assert readiness["ready"] is False
+            assert readiness["reason"] == "draining"
+            with pytest.raises(ServiceUnavailable) as exc:
+                service.submit(SubmitRequest(
+                    jobs=(JobSpec(workload="gsm-encode"),)))
+            assert exc.value.reason == "draining"
+
+            service.release.set()
+            drainer.join(timeout=240)
+            assert summary == {"drained": True, "parked": 1, "done": 1}
+            assert service.wait(first.sweep_id, timeout=1).ok
+        finally:
+            service.release.set()
+            service.shutdown()
+
+        # The parked job belongs to the next incarnation: a service
+        # over the same journal resumes and completes it.
+        clear_memo()
+        reborn = ExperimentService(ctx, workers=1,
+                                   journal_dir=journal_dir).start()
+        try:
+            final = reborn.wait(second.sweep_id, timeout=240)
+            assert final.ok
+        finally:
+            reborn.shutdown()
+
+
+class TestHealthEndpoints:
+    def test_livez_and_readyz_split(self, tmp_path):
+        clear_memo()
+        ctx = RunContext(cache_dir=tmp_path / "cas", cache_layout="cas")
+        service = ExperimentService(ctx, workers=1,
+                                    journal_dir=tmp_path / "journal"
+                                    ).start()
+        server = _HttpServer(service)
+        try:
+            client = ServiceClient(server.url)
+            live = client.live()
+            assert live["live"] is True
+
+            ready, document = client.ready()
+            assert ready is True
+            assert document["reason"] == "ok"
+            assert document["queue_depth"] == 0
+            assert document["journal"]["enabled"] is True
+            assert document["journal"]["lag"] == 0
+
+            # Drained: readiness flips 503 while liveness stays 200 —
+            # an orchestrator must not kill a service shedding load on
+            # purpose.
+            service.drain()
+            ready, document = client.ready()
+            assert ready is False
+            assert document["reason"] in ("draining", "stopping")
+            assert client.live()["live"] is True
+        finally:
+            server.stop()
+            service.shutdown()
+
+    def test_oversized_request_gets_typed_413(self, tmp_path):
+        clear_memo()
+        service = ExperimentService(RunContext(), workers=1).start()
+        server = _HttpServer(service)
+        try:
+            host, _, port = server.url.removeprefix("http://").partition(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            try:
+                # Announce a 9 MiB body; the typed 413 must arrive
+                # before any of it is read.
+                conn.putrequest("POST", "/v1/sweeps")
+                conn.putheader("Content-Type", "application/json")
+                conn.putheader("Content-Length", str(9 * 1024 * 1024))
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 413
+                document = json.loads(response.read())
+                assert document["error"] == "payload-too-large"
+                assert document["details"]["limit"] == 8 * 1024 * 1024
+                assert document["details"]["length"] == 9 * 1024 * 1024
+            finally:
+                conn.close()
+        finally:
             server.stop()
             service.shutdown()

@@ -16,17 +16,21 @@ from repro.core.config import named_configs
 from repro.service.api import (
     API_SCHEMA,
     Backpressure,
+    ERR_WORKER_CRASH,
     JobSpec,
     JobStatus,
     MAX_JOBS_PER_SWEEP,
     NotFound,
+    PayloadTooLarge,
     RequestInvalid,
     ServiceError,
+    ServiceUnavailable,
     SubmitRequest,
     SweepStatus,
     error_from_dict,
     error_to_dict,
 )
+from repro.service.http import retry_after_header
 
 
 class TestNamedConfigs:
@@ -177,3 +181,87 @@ class TestErrorRoundTrip:
                                "message": "??"})
         assert type(err) is ServiceError
         assert err.message == "??"
+
+
+class TestNewErrorTypes:
+    def test_payload_too_large_is_a_413_in_the_400_family(self):
+        err = PayloadTooLarge("body too big", length=9_000_000,
+                              limit=8_388_608)
+        assert isinstance(err, RequestInvalid)
+        assert err.http_status == 413
+        again = error_from_dict(error_to_dict(err))
+        assert type(again) is PayloadTooLarge
+        assert again.details == {"length": 9_000_000, "limit": 8_388_608}
+
+    def test_service_unavailable_round_trips_reason_and_extras(self):
+        err = ServiceUnavailable("breaker open", reason="breaker-open",
+                                 retry_after=27.5,
+                                 consecutive_crashes=5, threshold=5)
+        again = error_from_dict(error_to_dict(err))
+        assert type(again) is ServiceUnavailable
+        assert again.http_status == 503
+        assert again.reason == "breaker-open"
+        assert again.retry_after == 27.5
+        assert again.details["consecutive_crashes"] == 5
+        assert again.details["threshold"] == 5
+
+    def test_unknown_code_keeps_details(self):
+        err = error_from_dict({"error": "from-the-future",
+                               "message": "??",
+                               "details": {"hint": "upgrade"}})
+        assert type(err) is ServiceError
+        assert err.details == {"hint": "upgrade"}
+
+
+class TestRetryAfterHeader:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0, "1"),           # a zero wait still tells clients to pause
+        (0.4, "1"),         # fractions round *up*: never retry early
+        (1.0, "1"),
+        (1.2, "2"),
+        (2.0, "2"),
+        (90.7, "91"),
+    ])
+    def test_rounding(self, seconds, expected):
+        assert retry_after_header(seconds) == expected
+
+
+class TestDeadlineSeconds:
+    def test_round_trip(self):
+        request = SubmitRequest(jobs=(JobSpec(workload="go"),),
+                                deadline_seconds=12.5)
+        again = SubmitRequest.from_dict(request.to_dict())
+        assert again.deadline_seconds == 12.5
+
+    def test_omitted_from_wire_when_unset(self):
+        request = SubmitRequest(jobs=(JobSpec(workload="go"),))
+        assert "deadline_seconds" not in request.to_dict()
+        assert SubmitRequest.from_dict(
+            request.to_dict()).deadline_seconds is None
+
+    @pytest.mark.parametrize("deadline", [
+        0, -1, -0.5, True, "10", [], 86401.0,
+    ])
+    def test_invalid_budgets_typed(self, deadline):
+        body = {"schema": API_SCHEMA,
+                "jobs": [{"workload": "go"}],
+                "deadline_seconds": deadline}
+        with pytest.raises(RequestInvalid):
+            SubmitRequest.from_dict(body)
+
+
+class TestJobStatusErrorCode:
+    def test_error_code_round_trips(self):
+        status = JobStatus(spec=JobSpec(workload="go"), fingerprint="fp",
+                           state="failed", error="boom",
+                           error_code=ERR_WORKER_CRASH)
+        again = JobStatus.from_dict(status.to_dict())
+        assert again.error_code == ERR_WORKER_CRASH
+        assert again.error == "boom"
+        assert again.terminal
+
+    def test_error_code_absent_when_clean(self):
+        status = JobStatus(spec=JobSpec(workload="go"), fingerprint="fp",
+                           state="done")
+        assert status.to_dict()["error_code"] is None
+        assert JobStatus.from_dict(status.to_dict()).error_code is None

@@ -1,0 +1,90 @@
+"""Tests for the service-tier chaos harness.
+
+The scenario matrix itself is the contract under test: a subset of
+fast scenarios (each runs the cheapest workload at most twice) must
+come back with exactly the verdict it promises — detected, never
+silent, never a false positive.  The shared :func:`corrupt_file` fault
+model is unit-tested directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust.chaos import DETECTED, MASKED
+from repro.robust.inject import corrupt_file
+from repro.robust.service_chaos import (
+    SCENARIO_EXPECT,
+    SERVICE_SCENARIOS,
+    service_chaos_suite,
+)
+
+
+class TestCorruptFile:
+    def test_bitflip_changes_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        original = bytes(range(256))
+        path.write_bytes(original)
+        detail = corrupt_file(path, mode="bitflip", seed=3)
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        diff = [(i, a ^ b) for i, (a, b)
+                in enumerate(zip(original, damaged)) if a != b]
+        assert len(diff) == 1
+        assert bin(diff[0][1]).count("1") == 1
+        assert "victim.bin" in detail
+
+    def test_bitflip_is_deterministic_per_seed(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        payload = b"x" * 512
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_file(a, mode="bitflip", seed=11)
+        corrupt_file(b, mode="bitflip", seed=11)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != payload
+
+    def test_truncate_halves_the_file(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        path.write_bytes(b"y" * 100)
+        corrupt_file(path, mode="truncate")
+        assert path.read_bytes() == b"y" * 50
+
+    def test_empty_file_cannot_be_bitflipped(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            corrupt_file(path, mode="bitflip")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        path.write_bytes(b"z")
+        with pytest.raises(ValueError):
+            corrupt_file(path, mode="zero-out")
+
+
+class TestScenarioCatalog:
+    def test_every_scenario_declares_an_expectation(self):
+        assert set(SCENARIO_EXPECT) == set(SERVICE_SCENARIOS)
+        assert all(v in (DETECTED, MASKED)
+                   for v in SCENARIO_EXPECT.values())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            service_chaos_suite(scenarios=["svc-nonexistent"])
+
+
+class TestServiceScenarios:
+    def test_fast_scenarios_meet_their_verdicts(self):
+        # The cheap end of the matrix: two that exercise the worker /
+        # breaker fault paths (one simulation each) and two pure-HTTP
+        # ones (reference simulation only).  The full 8-scenario matrix
+        # runs in CI via `repro-chaos --service-chaos`.
+        names = ["svc-worker-death", "svc-breaker-trip",
+                 "svc-malformed-request", "svc-oversized-request"]
+        outcomes = service_chaos_suite(seed=0, scenarios=names)
+        assert [o.injector for o in outcomes] == names
+        for outcome in outcomes:
+            assert outcome.ok, f"{outcome.injector}: {outcome.detail}"
+            assert outcome.verdict == SCENARIO_EXPECT[outcome.injector], \
+                f"{outcome.injector}: {outcome.detail}"

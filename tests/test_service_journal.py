@@ -1,0 +1,206 @@
+"""Tests for the durable sweep journal (WAL semantics).
+
+The journal's contract: every appended record is durably on disk and
+digest-protected before ``append`` returns; replay tolerates exactly
+the damage a crash can produce (a half-written final line) while any
+*mid-file* damage is counted and skipped, never replayed as state; and
+startup compaction rewrites only live sweeps, atomically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    REC_ADMITTED,
+    REC_DISPATCHED,
+    REC_DONE,
+    REC_FAILED,
+    REC_START,
+    SweepJournal,
+    read_journal,
+    record_digest,
+)
+
+
+def _journal_with_sweep(path, sweep_id="sweep-000001", fp="fp-1",
+                        done=False):
+    journal = SweepJournal(path, sync=False)
+    journal.append(REC_START, workers=1)
+    journal.append(REC_ADMITTED, sweep_id=sweep_id, backend="reference",
+                   deadline_seconds=None,
+                   jobs=[{"spec": {"workload": "go"}, "fingerprint": fp}],
+                   sources={fp: "fresh"})
+    journal.append(REC_DISPATCHED, fingerprint=fp)
+    if done:
+        journal.append(REC_DONE, fingerprint=fp, source="fresh")
+    journal.close()
+    return journal
+
+
+class TestAppendAndReplay:
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _journal_with_sweep(path, done=True)
+        replay = read_journal(path)
+        assert replay.ok
+        assert replay.records == 4
+        assert replay.bad_records == 0
+        assert not replay.torn_tail
+        assert list(replay.sweeps) == ["sweep-000001"]
+        sweep = replay.sweeps["sweep-000001"]
+        assert sweep.jobs[0]["fingerprint"] == "fp-1"
+        assert replay.job_states["fp-1"] == {"state": "done",
+                                             "source": "fresh"}
+        assert replay.max_sweep_number == 1
+
+    def test_every_line_carries_schema_and_digest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _journal_with_sweep(path)
+        for line in path.read_bytes().splitlines():
+            record = json.loads(line)
+            assert record["schema"] == JOURNAL_SCHEMA
+            assert record["digest"] == record_digest(record)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal.jsonl", sync=False)
+        with pytest.raises(ValueError):
+            journal.append("job.exploded", fingerprint="fp")
+        journal.close()
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = read_journal(tmp_path / "absent.jsonl")
+        assert replay.ok
+        assert replay.records == 0
+        assert not replay.sweeps
+
+    def test_failed_job_state_keeps_error(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path, sync=False)
+        journal.append(REC_FAILED, fingerprint="fp-1", error="boom",
+                       error_code="worker-crash")
+        journal.close()
+        replay = read_journal(path)
+        assert replay.job_states["fp-1"] == {
+            "state": "failed", "error": "boom",
+            "error_code": "worker-crash"}
+
+
+class TestDamageTolerance:
+    def test_torn_tail_ignored_and_flagged(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _journal_with_sweep(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])     # half-written final record
+        replay = read_journal(path)
+        assert replay.torn_tail
+        assert replay.bad_records == 0  # a torn tail is not corruption
+        assert replay.ok
+        # Everything before the tear replayed intact.
+        assert "sweep-000001" in replay.sweeps
+        assert replay.records == 2
+
+    def test_midfile_corruption_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _journal_with_sweep(path, done=True)
+        lines = path.read_bytes().split(b"\n")
+        flipped = bytearray(lines[1])   # the admission record
+        flipped[len(flipped) // 2] ^= 0x01
+        lines[1] = bytes(flipped)
+        path.write_bytes(b"\n".join(lines))
+        replay = read_journal(path)
+        assert replay.bad_records == 1
+        assert not replay.ok
+        assert not replay.torn_tail
+        # The damaged admission never became state; later records did.
+        assert "sweep-000001" not in replay.sweeps
+        assert replay.job_states["fp-1"]["state"] == "done"
+
+    def test_wrong_schema_line_is_bad_record(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        record = {"schema": "repro-journal/999", "record": REC_START}
+        record["digest"] = record_digest(record)
+        good = SweepJournal(path, sync=False)
+        good.append(REC_START, workers=1)
+        good.close()
+        raw = path.read_bytes()
+        path.write_bytes(
+            (json.dumps(record) + "\n").encode("utf-8") + raw)
+        replay = read_journal(path)
+        assert replay.bad_records == 1
+        assert replay.records == 1
+
+    def test_digest_detects_any_field_change(self):
+        record = {"schema": JOURNAL_SCHEMA, "record": REC_DONE,
+                  "fingerprint": "fp-1", "source": "fresh"}
+        record["digest"] = record_digest(record)
+        assert record_digest(record) == record["digest"]
+        record["source"] = "store"
+        assert record_digest(record) != record["digest"]
+
+
+class TestCompaction:
+    def test_compact_keeps_only_live_sweeps(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path, sync=False)
+        journal.append(REC_START, workers=1)
+        for index, fp in ((1, "fp-1"), (2, "fp-2")):
+            journal.append(
+                REC_ADMITTED, sweep_id=f"sweep-{index:06d}",
+                backend="reference", deadline_seconds=None,
+                jobs=[{"spec": {"workload": "go"}, "fingerprint": fp}],
+                sources={fp: "fresh"})
+        journal.append(REC_DONE, fingerprint="fp-1", source="fresh")
+        journal.close()
+
+        replay = read_journal(path)
+        compacted = SweepJournal.compact(path, replay, ["sweep-000002"],
+                                         sync=False)
+        compacted.append(REC_DISPATCHED, fingerprint="fp-2")
+        compacted.close()
+
+        again = read_journal(path)
+        assert again.ok and not again.torn_tail
+        assert list(again.sweeps) == ["sweep-000002"]
+        assert "fp-1" not in again.job_states
+        assert again.job_states["fp-2"] == {"state": "running"}
+
+    def test_compact_preserves_terminal_outcomes_of_live_sweeps(
+            self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path, sync=False)
+        journal.append(
+            REC_ADMITTED, sweep_id="sweep-000001", backend="reference",
+            deadline_seconds=None,
+            jobs=[{"spec": {"workload": "go"}, "fingerprint": "fp-1"},
+                  {"spec": {"workload": "perl"}, "fingerprint": "fp-2"}],
+            sources={"fp-1": "fresh", "fp-2": "fresh"})
+        journal.append(REC_FAILED, fingerprint="fp-1", error="boom",
+                       error_code="job-failed")
+        journal.close()
+
+        replay = read_journal(path)
+        SweepJournal.compact(path, replay, ["sweep-000001"],
+                             sync=False).close()
+        again = read_journal(path)
+        # A second replay reconstructs exactly what the first did.
+        assert again.job_states["fp-1"] == {
+            "state": "failed", "error": "boom",
+            "error_code": "job-failed"}
+        assert "fp-2" not in again.job_states
+        assert again.sweeps["sweep-000001"].jobs == \
+            replay.sweeps["sweep-000001"].jobs
+
+    def test_compact_is_reopened_for_append(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _journal_with_sweep(path)
+        replay = read_journal(path)
+        journal = SweepJournal.compact(path, replay, [], sync=False)
+        journal.append(REC_START, workers=2)
+        journal.close()
+        again = read_journal(path)
+        assert again.records == 1
+        assert not again.sweeps
